@@ -1,0 +1,60 @@
+"""Ablation: Bloom-filter length vs false positives (paper Section III-B).
+
+The paper sizes the fixed filter at m = 11,542 bits for |K_max| = 1,000
+keywords and k = 8 hashes, achieving the minimum false-positive rate of
+(1/2)^8 ~ 0.39%.  Shorter filters save ad bytes but inflate false
+positives -- each one costs ASAP a wasted confirmation round-trip.  This
+bench measures the empirical FPR across filter lengths and checks it tracks
+the analytic prediction (fill_ratio^k).
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.bloom.filter import BloomFilter
+from repro.bloom.hashing import PAPER_M, BloomHasher
+
+N_KEYWORDS = 700
+N_PROBES = 6000
+
+
+def _empirical_fpr(m: int, k: int = 8) -> dict:
+    hasher = BloomHasher(m=m, k=k)
+    filt = BloomFilter(hasher)
+    filt.add_all(f"member-{i}" for i in range(N_KEYWORDS))
+    false_hits = sum(1 for i in range(N_PROBES) if f"absent-{i}" in filt)
+    return {
+        "m": m,
+        "fill": filt.fill_ratio(),
+        "predicted": filt.false_positive_rate(),
+        "observed": false_hits / N_PROBES,
+    }
+
+
+def bench_ablation_bloom_length(benchmark):
+    lengths = (2048, 4096, 8192, PAPER_M, 2 * PAPER_M)
+    rows = benchmark.pedantic(
+        lambda: [_empirical_fpr(m) for m in lengths], rounds=1, iterations=1
+    )
+    lines = [
+        f"Ablation: Bloom filter length vs false-positive rate "
+        f"({N_KEYWORDS} keywords, k=8)"
+    ]
+    lines.append(f"{'m bits':>8} {'fill':>7} {'predicted':>10} {'observed':>10}")
+    for r in rows:
+        lines.append(
+            f"{r['m']:>8} {r['fill']:>7.3f} {r['predicted']:>10.5f} "
+            f"{r['observed']:>10.5f}"
+        )
+    write_result("ablation_bloom", "\n".join(lines))
+
+    # FPR decreases monotonically with filter length...
+    observed = [r["observed"] for r in rows]
+    assert all(a >= b - 0.002 for a, b in zip(observed, observed[1:]))
+    # ...and the paper-sized filter keeps it near its designed sub-1% rate
+    # (it is sized for 1,000 keywords; 700 keeps fill below optimum).
+    paper_row = next(r for r in rows if r["m"] == PAPER_M)
+    assert paper_row["observed"] < 0.01
+    # Analytic prediction tracks observation within noise.
+    for r in rows:
+        assert abs(r["observed"] - r["predicted"]) < max(0.02, r["predicted"])

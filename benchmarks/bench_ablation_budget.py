@@ -1,0 +1,51 @@
+"""Ablation: ad-delivery budget unit M0 (paper Section III-A's trade-off).
+
+ASAP trades ad preparation/distribution cost for search efficiency.  The
+budget unit controls how far each ad travels: a larger M0 buys wider ad
+coverage (higher local-hit rate, higher success) at proportionally higher
+ad-delivery load.  This bench sweeps M0 around the scaled default and
+validates the trade-off's direction on the crawled overlay.
+"""
+
+from dataclasses import replace
+
+from conftest import write_result
+from repro.simulation import run_experiment, scaled_config
+
+N_PEERS = 250
+N_QUERIES = 400
+
+
+def _run(budget_scale: float):
+    cfg = scaled_config("asap_rw", "crawled", n_peers=N_PEERS, n_queries=N_QUERIES)
+    asap = replace(
+        cfg.asap, budget_unit=max(5, int(cfg.asap.budget_unit * budget_scale))
+    )
+    cfg = replace(cfg, asap=asap)
+    result = run_experiment(cfg)
+    return {
+        "budget_unit": asap.budget_unit,
+        "success": result.success_rate(),
+        "load": result.load_summary().mean,
+        "cost": result.avg_cost_bytes(),
+    }
+
+
+def bench_ablation_budget_unit(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_run(s) for s in (0.25, 1.0, 4.0)], rounds=1, iterations=1
+    )
+    lines = ["Ablation: ASAP(RW) delivery budget unit M0 (crawled overlay)"]
+    lines.append(f"{'M0':>8} {'success':>9} {'load B/node/s':>14} {'cost B':>9}")
+    for r in rows:
+        lines.append(
+            f"{r['budget_unit']:>8} {r['success']:>9.3f} {r['load']:>14.1f} "
+            f"{r['cost']:>9.0f}"
+        )
+    write_result("ablation_budget", "\n".join(lines))
+
+    small, default, large = rows
+    # Wider delivery -> better coverage -> higher success...
+    assert large["success"] >= small["success"]
+    # ...paid for with more ad-delivery bandwidth.
+    assert large["load"] > small["load"]

@@ -1,0 +1,42 @@
+"""Ablation: bounded ads-cache capacity (paper Section III-A's challenge).
+
+The paper's "optimal approach" strawman -- every node caches every index --
+is dismissed as prohibitively expensive; ASAP's selective caching keeps only
+interesting ads.  This bench bounds the cache further (LRU eviction) and
+validates the capacity/success trade-off: tight caches evict ads before the
+queries that need them arrive.
+"""
+
+from dataclasses import replace
+
+from conftest import write_result
+from repro.simulation import run_experiment, scaled_config
+
+N_PEERS = 250
+N_QUERIES = 400
+
+
+def _run(capacity):
+    cfg = scaled_config("asap_rw", "crawled", n_peers=N_PEERS, n_queries=N_QUERIES)
+    cfg = replace(cfg, asap=replace(cfg.asap, cache_capacity=capacity))
+    result = run_experiment(cfg)
+    return {
+        "capacity": capacity if capacity is not None else "inf",
+        "success": result.success_rate(),
+        "cost": result.avg_cost_bytes(),
+    }
+
+
+def bench_ablation_cache_capacity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_run(c) for c in (8, 32, None)], rounds=1, iterations=1
+    )
+    lines = ["Ablation: ASAP(RW) ads-cache capacity (LRU eviction, crawled overlay)"]
+    lines.append(f"{'capacity':>9} {'success':>9} {'cost B':>9}")
+    for r in rows:
+        lines.append(f"{str(r['capacity']):>9} {r['success']:>9.3f} {r['cost']:>9.0f}")
+    write_result("ablation_cache", "\n".join(lines))
+
+    tight, medium, unbounded = rows
+    assert unbounded["success"] >= medium["success"] >= tight["success"] - 0.02
+    assert unbounded["success"] > tight["success"]

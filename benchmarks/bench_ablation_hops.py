@@ -1,0 +1,43 @@
+"""Ablation: ads-request radius h (paper Section III-C).
+
+The paper bounds the ads-request scope "by setting the distance h to a
+small value, e.g., 1 by default".  h = 0 disables the fallback entirely
+(pure local lookups); larger h widens the rescue net at higher per-miss
+cost.  This bench validates that the fallback is what lifts ASAP(RW) from
+its raw ad-coverage hit rate to its reported success rate.
+"""
+
+from dataclasses import replace
+
+from conftest import write_result
+from repro.simulation import run_experiment, scaled_config
+
+N_PEERS = 250
+N_QUERIES = 400
+
+
+def _run(h: int):
+    cfg = scaled_config("asap_rw", "crawled", n_peers=N_PEERS, n_queries=N_QUERIES)
+    cfg = replace(cfg, asap=replace(cfg.asap, ads_request_hops=h))
+    result = run_experiment(cfg)
+    return {
+        "h": h,
+        "success": result.success_rate(),
+        "cost": result.avg_cost_bytes(),
+    }
+
+
+def bench_ablation_ads_request_hops(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_run(h) for h in (0, 1, 2)], rounds=1, iterations=1
+    )
+    lines = ["Ablation: ASAP(RW) ads-request radius h (crawled overlay)"]
+    lines.append(f"{'h':>4} {'success':>9} {'cost B':>9}")
+    for r in rows:
+        lines.append(f"{r['h']:>4} {r['success']:>9.3f} {r['cost']:>9.0f}")
+    write_result("ablation_hops", "\n".join(lines))
+
+    h0, h1, h2 = rows
+    assert h1["success"] > h0["success"]  # the fallback earns its keep
+    assert h2["success"] >= h1["success"] - 0.02  # wider never hurts much
+    assert h2["cost"] >= h1["cost"]  # but costs more per search

@@ -1,0 +1,96 @@
+"""Ablation: hierarchical ASAP (footnote 3) vs flat ASAP.
+
+The paper notes ASAP "can work well on hierarchical systems in which only
+super peers are responsible for ad representation, delivery, caching and
+processing".  This bench compares flat ASAP(FLD) against the super-peer
+variant at several tier fractions on the crawled overlay: fewer caching
+participants per ad delivery, one extra leaf hop per search.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.asap.protocol import AsapParams
+from repro.asap.superpeer import SuperPeerAsapSearch
+from repro.network.latency import LatencyModel
+from repro.network.overlay import Overlay
+from repro.network.topology import build_topology
+from repro.network.transit_stub import TransitStubNetwork
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import BandwidthLedger
+from repro.sim.random import RandomStreams
+from repro.workload.edonkey import EdonkeyParams, synthesize_content
+from repro.workload.generator import TraceParams, generate_trace
+from repro.workload.trace import QueryEvent
+
+N_PEERS = 250
+N_QUERIES = 300
+
+
+def _run_superpeer(fraction):
+    """Replay queries only (no churn) through the super-peer variant."""
+    streams = RandomStreams(seed=3)
+    net = TransitStubNetwork(seed=3)
+    topo = build_topology("crawled", N_PEERS, rng=streams.get("topology"), network=net)
+    overlay = Overlay(topo, LatencyModel(net))
+    dist = synthesize_content(
+        EdonkeyParams(n_peers=N_PEERS, avg_docs_per_peer=10.0),
+        streams.get("content"),
+    )
+    trace = generate_trace(
+        dist,
+        TraceParams(n_queries=N_QUERIES, n_joins=0, n_leaves=0),
+        streams.get("trace"),
+    )
+    ledger = BandwidthLedger()
+    algo = SuperPeerAsapSearch(
+        overlay,
+        dist.index,
+        ledger,
+        rng=streams.get("algorithm"),
+        interests=dist.interests,
+        params=AsapParams(forwarder="fld"),
+        super_fraction=fraction,
+    )
+    engine = SimulationEngine()
+    algo.warmup(engine, start=0.0, duration=30.0)
+    engine.run(until=30.0)
+    outcomes = [
+        algo.search(e.node, e.terms, 30.0 + e.time)
+        for e in trace.events
+        if isinstance(e, QueryEvent)
+    ]
+    successes = [o for o in outcomes if o.success]
+    cached_entries = sum(len(r) for r in algo.repos)
+    return {
+        "fraction": fraction,
+        "success": len(successes) / len(outcomes),
+        "resp_ms": float(np.mean([o.response_time_ms for o in successes]))
+        if successes
+        else float("nan"),
+        "cache_entries": cached_entries,
+    }
+
+
+def bench_ablation_superpeer_fraction(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_run_superpeer(f) for f in (0.05, 0.15, 0.5, 1.0)],
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Ablation: hierarchical ASAP -- super-peer tier fraction (crawled)"]
+    lines.append(f"{'fraction':>9} {'success':>9} {'resp ms':>9} {'cache entries':>14}")
+    for r in rows:
+        lines.append(
+            f"{r['fraction']:>9.2f} {r['success']:>9.3f} {r['resp_ms']:>9.1f} "
+            f"{r['cache_entries']:>14}"
+        )
+    write_result("ablation_superpeer", "\n".join(lines))
+
+    # A smaller tier means fewer cached entries system-wide...
+    entries = [r["cache_entries"] for r in rows]
+    assert entries == sorted(entries)
+    # ...while success holds up (the tier aggregates leaf interests) and a
+    # fraction of 1.0 degenerates to flat ASAP (no leaf hop).
+    assert rows[-1]["success"] >= 0.7
+    assert all(r["success"] >= rows[-1]["success"] - 0.15 for r in rows)

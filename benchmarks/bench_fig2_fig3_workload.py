@@ -1,0 +1,32 @@
+"""Figures 2 and 3: workload properties of the synthetic eDonkey trace.
+
+Paper: Figure 2 shows the number of nodes sharing content in each of the 14
+semantic classes; Figure 3 the number of nodes holding each interest.  Both
+are properties of the content synthesis -- the benchmark validates the
+skewed shape and times the synthesis itself.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.experiments import fig2_semantic_classes, fig3_node_interests
+
+
+def bench_fig2_semantic_classes(benchmark, scale):
+    fig = benchmark.pedantic(
+        lambda: fig2_semantic_classes(scale), rounds=1, iterations=1
+    )
+    write_result("fig2_semantic_classes", fig.format_table())
+    counts = fig.counts
+    assert counts.sum() > 0
+    assert counts.max() > 4 * max(counts.min(), 1)  # Figure 2's skew
+    assert np.all(np.argsort(-counts)[:2] < 4)  # media classes dominate
+
+
+def bench_fig3_node_interests(benchmark, scale):
+    fig = benchmark.pedantic(
+        lambda: fig3_node_interests(scale), rounds=1, iterations=1
+    )
+    write_result("fig3_node_interests", fig.format_table())
+    # Every peer holds at least one interest (free-riders get random ones).
+    assert fig.counts.sum() >= scale.n_peers

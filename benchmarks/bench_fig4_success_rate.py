@@ -1,0 +1,30 @@
+"""Figure 4: search success rate per algorithm and topology.
+
+Paper shape validated here:
+
+* ASAP consistently achieves a satisfactory success rate; ASAP(FLD) is the
+  best ASAP scheme (it spreads ads the widest);
+* random walk's success is poor -- 89% of documents have a single copy, and
+  plain walks need replication to find things;
+* GSA answers more queries than random walk on the random and crawled
+  overlays.
+"""
+
+from conftest import write_result
+from repro.experiments import fig4_success_rate
+
+
+def bench_fig4_success_rate(benchmark, grid):
+    fig = benchmark.pedantic(lambda: fig4_success_rate(grid), rounds=1, iterations=1)
+    write_result("fig4_success_rate", fig.format_table())
+    v = fig.values
+    for topo in grid.scale.topologies:
+        # Flooding and ASAP(FLD) are the high-success schemes.
+        assert v["flooding"][topo] > v["random_walk"][topo]
+        assert v["ASAP(FLD)"][topo] >= v["ASAP(RW)"][topo] - 0.02
+        # ASAP beats the walk-based baselines.
+        assert v["ASAP(RW)"][topo] > v["random_walk"][topo]
+    # GSA > random walk on random and crawled overlays (paper Section V-C).
+    for topo in ("random", "crawled"):
+        if topo in grid.scale.topologies:
+            assert v["gsa"][topo] >= v["random_walk"][topo]

@@ -1,0 +1,24 @@
+"""Figure 5: average response time of successful searches.
+
+Paper shape: ASAP's response time is 62%-78% shorter than flooding's and
+GSA's (one-hop confirmation vs multi-hop query propagation); random walk is
+the slowest; GSA is comparable to flooding.
+"""
+
+from conftest import write_result
+from repro.experiments import fig5_response_time
+
+
+def bench_fig5_response_time(benchmark, grid):
+    fig = benchmark.pedantic(lambda: fig5_response_time(grid), rounds=1, iterations=1)
+    write_result("fig5_response_time", fig.format_table())
+    v = fig.values
+    for topo in grid.scale.topologies:
+        flood = v["flooding"][topo]
+        for asap in ("ASAP(FLD)", "ASAP(RW)", "ASAP(GSA)"):
+            reduction = 1.0 - v[asap][topo] / flood
+            # Paper: 62%-78% shorter than flooding; accept >= 50% at the
+            # reduced benchmark scale.
+            assert reduction >= 0.5, f"{asap}/{topo}: only {reduction:.0%} shorter"
+        # Random walk is the slowest scheme.
+        assert v["random_walk"][topo] >= flood

@@ -1,0 +1,21 @@
+"""Figure 7: breakdown of ASAP(RW) system load by traffic category.
+
+Paper shape: after warm-up, patch and refresh ads dominate the ad-delivery
+load (~91%) while full ads contribute a minor share (~8.5%) -- full ads are
+large but rare once the system is warm (here: join re-announcements are
+refresh ads; full ads flow only for never-advertised sharers and version-gap
+repairs).
+"""
+
+from conftest import write_result
+from repro.experiments import fig7_load_breakdown
+
+
+def bench_fig7_load_breakdown(benchmark, grid):
+    fig = benchmark.pedantic(lambda: fig7_load_breakdown(grid), rounds=1, iterations=1)
+    write_result("fig7_load_breakdown", fig.format_table())
+    assert abs(sum(fig.fractions.values()) - 1.0) < 1e-6
+    # Patch + refresh dominate full ads in the warmed-up system.
+    assert fig.patch_refresh_fraction > fig.full_ad_fraction
+    # Ad delivery (not search traffic) carries most of ASAP's load.
+    assert fig.ad_delivery_fraction > 0.5

@@ -1,0 +1,26 @@
+"""Figure 8: average system load (bytes per node per second).
+
+Paper shape: ASAP keeps the system load 2-5x lower than the query-based
+schemes; among ASAP variants, flooding delivery is the most expensive; the
+walk-based ASAP schemes sit below the random-walk baseline.
+"""
+
+from conftest import write_result
+from repro.experiments import fig8_avg_system_load
+
+
+def bench_fig8_avg_system_load(benchmark, grid):
+    fig = benchmark.pedantic(
+        lambda: fig8_avg_system_load(grid), rounds=1, iterations=1
+    )
+    write_result("fig8_avg_system_load", fig.format_table())
+    v = fig.values
+    for topo in grid.scale.topologies:
+        # Flooding is the loudest scheme overall.
+        assert v["flooding"][topo] > v["random_walk"][topo]
+        assert v["flooding"][topo] > v["ASAP(RW)"][topo]
+        # ASAP(RW) runs below the quietest baseline (random walk).
+        assert v["ASAP(RW)"][topo] < v["random_walk"][topo]
+        # ASAP(FLD) is the loudest ASAP variant.
+        assert v["ASAP(FLD)"][topo] > v["ASAP(RW)"][topo]
+        assert v["ASAP(FLD)"][topo] > v["ASAP(GSA)"][topo]

@@ -1,0 +1,20 @@
+"""Figure 9: system-load variation (standard deviation).
+
+Paper shape: flooding's load swings hardest (every query is a broadcast
+burst); ASAP's proactive content pushing smooths the load, so the walk-based
+ASAP schemes show small variation; ASAP(FLD) varies more than ASAP(RW)/(GSA).
+"""
+
+from conftest import write_result
+from repro.experiments import fig9_load_variation
+
+
+def bench_fig9_load_variation(benchmark, grid):
+    fig = benchmark.pedantic(
+        lambda: fig9_load_variation(grid), rounds=1, iterations=1
+    )
+    write_result("fig9_load_variation", fig.format_table())
+    v = fig.values
+    for topo in grid.scale.topologies:
+        assert v["flooding"][topo] > v["ASAP(RW)"][topo]
+        assert v["ASAP(FLD)"][topo] > v["ASAP(RW)"][topo]

@@ -1,0 +1,73 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+vectorised kernels that make paper-scale replay tractable:
+
+* hop-bounded Bellman-Ford flood computation over a live overlay;
+* all-sources Bloom match through the packed filter matrix;
+* hierarchical latency batch queries;
+* trace synthesis throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bloom.filter import BloomFilter
+from repro.bloom.hashing import BloomHasher
+from repro.bloom.matrix import FilterMatrix
+from repro.network.latency import LatencyModel
+from repro.network.overlay import Overlay
+from repro.network.topology import random_topology
+from repro.network.transit_stub import TransitStubNetwork
+from repro.search.flooding import flood_reach
+from repro.workload.edonkey import EdonkeyParams, synthesize_content
+
+
+@pytest.fixture(scope="module")
+def overlay_2k():
+    topo = random_topology(2000, avg_degree=5.0, rng=np.random.default_rng(0))
+    return Overlay(topo, default_edge_latency_ms=20.0)
+
+
+def bench_flood_reach_2k(benchmark, overlay_2k):
+    first_hop, _, msgs = benchmark(flood_reach, overlay_2k, 0, 6)
+    assert msgs > 0
+    assert (first_hop >= 0).mean() > 0.9
+
+
+def bench_filter_matrix_match_10k(benchmark):
+    hasher = BloomHasher()
+    mat = FilterMatrix(10_000, hasher)
+    rng = np.random.default_rng(1)
+    vocab = [f"kw{i}" for i in range(500)]
+    for s in range(0, 10_000, 7):  # populate a representative subset
+        f = BloomFilter(hasher)
+        f.add_all(rng.choice(vocab, size=30, replace=False))
+        mat.set_row(s, f.bits_view())
+    positions = hasher.positions_array(["kw3", "kw77"])
+    result = benchmark(mat.match_all, positions)
+    assert result.shape == (10_000,)
+
+
+def bench_latency_pairwise_10k(benchmark):
+    net = TransitStubNetwork(seed=0)
+    model = LatencyModel(net)
+    rng = np.random.default_rng(2)
+    nodes = rng.choice(net.n_nodes, size=2_000, replace=False)
+    model.register(nodes)
+    us = rng.choice(nodes, size=10_000)
+    vs = rng.choice(nodes, size=10_000)
+    out = benchmark(model.pairwise_ms, us, vs)
+    assert np.all(np.isfinite(out))
+
+
+def bench_content_synthesis_1k(benchmark):
+    dist = benchmark.pedantic(
+        lambda: synthesize_content(
+            EdonkeyParams(n_peers=1_000, avg_docs_per_peer=10.0),
+            np.random.default_rng(3),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert dist.index.mean_replica_count() == pytest.approx(1.28, abs=0.05)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the figure-reproduction benchmark harness.
+
+All grid figures (4, 5, 6, 8, 9, and 10's series) read from one memoised
+``ExperimentGrid``, so one ``pytest benchmarks/ --benchmark-only`` session
+simulates each (algorithm, topology) cell exactly once.
+
+Scale control (environment variables):
+
+* ``REPRO_BENCH_PEERS``   -- overlay size (default 400; paper: 10000)
+* ``REPRO_BENCH_QUERIES`` -- trace length (default 800; paper: 30000)
+* ``REPRO_BENCH_SEED``    -- root seed (default 0)
+
+Each figure bench also writes its paper-style table to
+``benchmarks/results/<figure>.txt`` so results survive the terminal.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentGrid, ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> ExperimentScale:
+    return ExperimentScale(
+        n_peers=int(os.environ.get("REPRO_BENCH_PEERS", "400")),
+        n_queries=int(os.environ.get("REPRO_BENCH_QUERIES", "800")),
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "0")),
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def grid(scale) -> ExperimentGrid:
+    return ExperimentGrid.shared(scale)
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a figure's table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

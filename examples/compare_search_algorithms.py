@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Compare all six search schemes on one overlay -- the paper's headline.
+
+Replays the same synthetic eDonkey trace through flooding, random walk,
+GSA and the three ASAP variants on the crawled (Limewire-like) overlay,
+then prints the paper-style comparison: success rate, response time,
+per-search cost and system load.
+
+Run:  python examples/compare_search_algorithms.py [n_peers] [n_queries]
+"""
+
+import sys
+
+from repro.simulation import ALGORITHMS, run_experiment, scaled_config
+
+
+def main() -> None:
+    n_peers = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    n_queries = int(sys.argv[2]) if len(sys.argv) > 2 else 600
+
+    print(f"replaying {n_queries} queries over {n_peers} peers "
+          f"(crawled overlay, GT-ITM latencies)\n")
+    header = (f"{'algorithm':<12} {'success':>8} {'resp ms':>9} "
+              f"{'cost B':>10} {'load B/n/s':>11} {'load std':>9}")
+    print(header)
+    print("-" * len(header))
+
+    flooding_rt = None
+    for algo in ALGORITHMS:
+        cfg = scaled_config(algo, "crawled", n_peers=n_peers, n_queries=n_queries)
+        summary = run_experiment(cfg).summarize()
+        print(f"{summary.algorithm:<12} {summary.success_rate:>8.3f} "
+              f"{summary.avg_response_time_ms:>9.1f} "
+              f"{summary.avg_cost_bytes:>10.0f} "
+              f"{summary.load_mean_bpns:>11.1f} {summary.load_std_bpns:>9.1f}")
+        if algo == "flooding":
+            flooding_rt = summary.avg_response_time_ms
+        if algo == "asap_rw" and flooding_rt:
+            saved = 1.0 - summary.avg_response_time_ms / flooding_rt
+            print(f"{'':12} ^ ASAP(RW) answers {saved:.0%} faster than flooding")
+
+    print("\npaper's claims to compare against: ASAP response time 62-78% below")
+    print("flooding/GSA; search cost 2-3 orders of magnitude lower; system")
+    print("load 2-5x lower with small variance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Flash-crowd load smoothing -- the introduction's "rush hours" motivation.
+
+The paper argues that query-based search load tracks the request rate and
+"may easily overwhelm some incapable nodes" during bursts, while ASAP's
+proactive pushing decouples load from request arrival.  This example drives
+both schemes with a 4x request-rate burst in the middle of the trace and
+compares each one's per-second load inside vs outside the burst.
+
+Run:  python examples/flash_crowd_load.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.simulation import run_experiment, scaled_config
+
+N_PEERS = 250
+N_QUERIES = 600
+BURST_FACTOR = 4.0
+
+
+def run(algorithm: str):
+    cfg = scaled_config(algorithm, "crawled", n_peers=N_PEERS, n_queries=N_QUERIES)
+    # Raise the Poisson arrival rate: same queries squeezed into less time
+    # models the burst (the trace generator is a single-rate process, so we
+    # simulate the burst by comparing the high-rate run to the default).
+    burst_cfg = replace(
+        cfg, trace=replace(cfg.trace, arrival_rate=cfg.trace.arrival_rate * BURST_FACTOR)
+    )
+    normal = run_experiment(cfg)
+    burst = run_experiment(burst_cfg)
+    return normal, burst
+
+
+def describe(name, normal, burst):
+    n_load = normal.load_summary()
+    b_load = burst.load_summary()
+    amplification = b_load.mean / max(n_load.mean, 1e-9)
+    print(f"{name:<12} normal {n_load.mean:>8.1f} B/node/s (peak {n_load.peak:>8.1f}) | "
+          f"burst {b_load.mean:>8.1f} (peak {b_load.peak:>8.1f}) | "
+          f"x{amplification:.2f}")
+    return amplification
+
+
+def main() -> None:
+    print(f"request burst: {BURST_FACTOR:.0f}x arrival rate, {N_PEERS} peers\n")
+    print(f"{'algorithm':<12} {'steady load / burst load / amplification'}")
+    print("-" * 76)
+    flood_amp = describe("flooding", *run("flooding"))
+    asap_amp = describe("ASAP(RW)", *run("asap_rw"))
+    print()
+    if asap_amp < flood_amp:
+        print(f"ASAP's load amplification (x{asap_amp:.2f}) is below flooding's "
+              f"(x{flood_amp:.2f}):")
+        print("ad-delivery traffic is paced by content dynamics, not query")
+        print("arrival, so bursts only add cheap confirmations.")
+    else:
+        print("unexpected: ASAP amplified more than flooding at this scale")
+
+
+if __name__ == "__main__":
+    main()

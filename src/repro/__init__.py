@@ -1,0 +1,42 @@
+"""repro -- reproduction of ASAP (ICPP 2007): advertisement-based search
+for unstructured peer-to-peer systems.
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.asap` -- the ASAP protocol (the paper's contribution);
+* :mod:`repro.search` -- flooding / random-walk / GSA baselines;
+* :mod:`repro.network` -- GT-ITM physical network, latency model, overlays;
+* :mod:`repro.bloom` -- Bloom-filter ad machinery;
+* :mod:`repro.workload` -- eDonkey-like content and trace synthesis;
+* :mod:`repro.sim` -- discrete-event kernel, RNG streams, metrics;
+* :mod:`repro.simulation` -- run configuration and trace replay;
+* :mod:`repro.experiments` -- per-figure drivers for the paper's evaluation.
+"""
+
+from repro.asap import AsapParams, AsapSearch
+from repro.search import FloodingSearch, GsaSearch, RandomWalkSearch
+from repro.simulation import (
+    ALGORITHMS,
+    RunConfig,
+    RunResult,
+    paper_config,
+    run_experiment,
+    scaled_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "AsapParams",
+    "AsapSearch",
+    "FloodingSearch",
+    "GsaSearch",
+    "RandomWalkSearch",
+    "RunConfig",
+    "RunResult",
+    "__version__",
+    "paper_config",
+    "run_experiment",
+    "scaled_config",
+]

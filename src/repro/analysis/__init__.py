@@ -1,0 +1,27 @@
+"""Analytic models backing the paper's design arguments.
+
+The paper motivates ASAP with back-of-envelope arithmetic (Section III-A's
+"13 query messages per node per second" estimate, Section III-B's Bloom
+sizing) and the literature's standard flood/walk coverage models.  This
+subpackage makes those models first-class, testable functions -- used both
+to sanity-check the simulator (analytic vs measured) and to size
+configurations without simulating.
+"""
+
+from repro.analysis.models import (
+    bloom_false_positive_rate,
+    expected_flood_messages_per_node,
+    expected_flood_reach,
+    expected_one_hop_rtt_ms,
+    expected_walk_coverage,
+    paper_query_load_estimate,
+)
+
+__all__ = [
+    "bloom_false_positive_rate",
+    "expected_flood_messages_per_node",
+    "expected_flood_reach",
+    "expected_one_hop_rtt_ms",
+    "expected_walk_coverage",
+    "paper_query_load_estimate",
+]

@@ -1,0 +1,515 @@
+"""The ASAP search algorithm and node lifecycle (paper Section III-C).
+
+Search (Table I, transcribed):
+
+1. look up the local ads repository for ads whose content filter matches
+   *all* query terms;
+2. send a content confirmation to each matching ad's source (nearest-first,
+   capped); a confirmation succeeds when the source is online and actually
+   holds one document containing every term -- Bloom false positives,
+   cross-document term splits and departed sources all fail here;
+3. if no response was obtained (or more responses are needed), send an
+   ads request to all neighbours within ``h`` hops (default 1); neighbours
+   reply with cached ads that overlap the requester's interests and that
+   the requester does not already hold (the request carries a digest of
+   cached sources -- see DESIGN.md section 3 on this documented refinement);
+   merge, re-look-up, confirm again;
+4. succeed with the earliest confirmed positive; fail otherwise.
+
+Lifecycle:
+
+* **warm-up** -- every sharer disseminates its full ad at a jittered time
+  inside the warm-up window, then starts a jittered periodic refresh timer;
+* **content change** -- the source's counting filter updates; if the bitmap
+  changed, a patch ad is disseminated; cachers the delivery missed are
+  marked *behind* (their entries are evaluated at their recorded version);
+* **join** -- the node disseminates a full ad (sharers) and bootstraps its
+  cache with an ads request to its neighbours;
+* **leave** -- nothing is sent; the node's cached ads survive for a rejoin
+  and its own ads decay in others' caches via failed confirmations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.asap.ads import Ad, AdType
+from repro.asap.delivery import AdForwarder, make_forwarder
+from repro.asap.repository import AdsRepository
+from repro.asap.store import SourceFilterStore
+from repro.search.base import MessageSizes, SearchAlgorithm, SearchOutcome
+from repro.sim.engine import PeriodicTimer, SimulationEngine
+from repro.sim.metrics import ASAP_LOAD_CATEGORIES, TrafficCategory
+from repro.bloom.compressed import compressed_filter_size
+
+__all__ = ["AsapParams", "AsapSearch"]
+
+
+@dataclass(frozen=True)
+class AsapParams:
+    """ASAP protocol knobs.  Defaults are the paper's (Section IV-A)."""
+
+    forwarder: str = "rw"  # fld | rw | gsa
+    ad_ttl: int = 6  # ad flooding TTL (ASAP(FLD))
+    ad_walkers: int = 5  # walkers per ad delivery (RW/GSA)
+    budget_unit: int = 3000  # M0: per-topic delivery budget
+    ads_request_hops: int = 1  # h: ads-request radius
+    refresh_period_s: float = 600.0  # periodic refresh-ad interval
+    # Refresh ads only need to re-reach nodes that already cache the source
+    # (any interested node acquired the ad during dissemination/bootstrap),
+    # so they walk with a small fraction of the full delivery budget.
+    refresh_budget_fraction: float = 0.1
+    max_confirmations: int = 8  # nearest ads confirmed per round
+    cache_capacity: Optional[int] = None  # ads-cache bound (None = unbounded)
+    ads_request_on_join: bool = True
+    bootstrap_ads_request: bool = True  # warm-up ends with an ads request
+    # Fraction of join events treated as genuinely new peers (never seen
+    # before): they must advertise with a full ad, while ordinary rejoins
+    # only re-announce liveness with a refresh ad.  This is the steady
+    # trickle of full-ad traffic in the warmed-up system (Figure 7).
+    fresh_join_fraction: float = 0.03
+    more_results_threshold: int = 1  # fallback when fewer results confirmed
+    digest_bytes_per_entry: float = 0.25  # cache digest in the ads request
+
+    def __post_init__(self) -> None:
+        if self.forwarder not in ("fld", "rw", "gsa"):
+            raise ValueError(f"unknown forwarder {self.forwarder!r}")
+        if self.ads_request_hops < 0:
+            raise ValueError("ads_request_hops must be >= 0")
+        if self.refresh_period_s <= 0:
+            raise ValueError("refresh_period_s must be positive")
+        if not 0.0 <= self.refresh_budget_fraction <= 1.0:
+            raise ValueError("refresh_budget_fraction must be in [0, 1]")
+        if self.max_confirmations < 1:
+            raise ValueError("max_confirmations must be >= 1")
+        if self.more_results_threshold < 1:
+            raise ValueError("more_results_threshold must be >= 1")
+        if not 0.0 <= self.fresh_join_fraction <= 1.0:
+            raise ValueError("fresh_join_fraction must be in [0, 1]")
+
+
+_SCHEME_NAMES = {"fld": "ASAP(FLD)", "rw": "ASAP(RW)", "gsa": "ASAP(GSA)"}
+
+
+class AsapSearch(SearchAlgorithm):
+    """The advertisement-based search algorithm."""
+
+    load_categories = ASAP_LOAD_CATEGORIES
+
+    def __init__(
+        self,
+        overlay,
+        content,
+        ledger,
+        sizes: MessageSizes | None = None,
+        rng: Optional[np.random.Generator] = None,
+        interests: Optional[List[Set[int]]] = None,
+        params: AsapParams | None = None,
+    ) -> None:
+        super().__init__(overlay, content, ledger, sizes, rng)
+        if interests is None:
+            raise ValueError("ASAP requires per-node interests")
+        if len(interests) != overlay.n:
+            raise ValueError("interests length must equal overlay size")
+        self.params = params or AsapParams()
+        self.name = _SCHEME_NAMES[self.params.forwarder]
+        self.interests = interests
+        self.store = SourceFilterStore(overlay.n, content)
+        self.repos: List[AdsRepository] = [
+            AdsRepository(
+                owner=i,
+                interests=interests[i],
+                store=self.store,
+                capacity=self.params.cache_capacity,
+            )
+            for i in range(overlay.n)
+        ]
+        self.cachers: Dict[int, Set[int]] = defaultdict(set)
+        self.forwarder: AdForwarder = make_forwarder(
+            self.params.forwarder,
+            overlay,
+            ledger,
+            self.sizes,
+            self.rng,
+            ttl=self.params.ad_ttl,
+            walkers=self.params.ad_walkers,
+            budget_unit=self.params.budget_unit,
+        )
+        self._engine: Optional[SimulationEngine] = None
+        self._timers: Dict[int, PeriodicTimer] = {}
+        self._advertised: Set[int] = set()  # sources that ever sent a full ad
+
+    # ------------------------------------------------------------- delivery
+    def _disseminate(
+        self, ad: Ad, now: float, budget: Optional[int] = None
+    ) -> None:
+        """Deliver an ad and update every receiver's cache.
+
+        Receivers that detect a version gap (a patch or refresh whose
+        version outruns their cached copy) repair by pulling a fresh full ad
+        from the source -- the unicast anti-entropy that keeps caches exact
+        and contributes the steady trickle of full-ad bytes in Figure 7's
+        breakdown.
+        """
+        report = self.forwarder.deliver(ad, now, budget=budget)
+        for node in report.visited:
+            repo = self.repos[node]
+            stored, evicted = repo.accept(ad, now)
+            if stored:
+                self.cachers[ad.source].add(node)
+            for evicted_source in evicted:
+                self.cachers[evicted_source].discard(node)
+            if ad.source in repo.behind and self.overlay.is_live(ad.source):
+                self._repair_entry(node, ad.source, now)
+        if ad.ad_type is AdType.PATCH:
+            # Cachers the delivery missed now lag the source's filter.
+            for node in self.cachers[ad.source] - set(report.visited):
+                self.repos[node].mark_behind(ad.source)
+
+    def _repair_entry(self, node: int, source: int, now: float) -> None:
+        """Heal a version gap by pulling the missed patches from the source.
+
+        The reply carries the changed-bit lists of every patch the cache
+        missed (2 bytes per bit, as on any patch ad); when the cache is so
+        far behind that a fresh full ad is smaller, the source sends that
+        instead.  Either way the entry ends at the current version.
+        """
+        repo = self.repos[node]
+        entry = repo.entry(source)
+        if entry is None:
+            return
+        self.ledger.record(
+            now, TrafficCategory.ADS_REQUEST, self.sizes.ads_request, messages=1
+        )
+        lat = self.overlay.direct_latency_ms(node, source)
+        full = self.store.make_full_ad(source)
+        if full is None:
+            # Source shares nothing any more: the stale entry is worthless.
+            repo.remove(source)
+            self.cachers[source].discard(node)
+            return
+        missed_bits = sum(
+            len(changed)
+            for version, changed in self.store.patch_history(source)
+            if version > entry.version
+        )
+        patch_reply = self.sizes.ad_header + 2 * missed_bits
+        full_reply = full.size_bytes(self.sizes)
+        if patch_reply <= full_reply:
+            category, reply_bytes = TrafficCategory.PATCH_AD, patch_reply
+        else:
+            category, reply_bytes = TrafficCategory.FULL_AD, full_reply
+        self.ledger.record(
+            now + 2.0 * lat / 1000.0, category, reply_bytes, messages=1
+        )
+        stored, evicted = repo.accept_snapshot(
+            source, self.store.version(source), self.store.topics(source), now
+        )
+        if stored:
+            self.cachers[source].add(node)
+        for ev in evicted:
+            self.cachers[ev].discard(node)
+
+    def _issue_full_ad(self, source: int, now: float) -> None:
+        ad = self.store.make_full_ad(source)
+        if ad is not None:
+            self._advertised.add(source)
+            self._disseminate(ad, now)
+
+    def _issue_refresh_ad(self, source: int, now: float) -> None:
+        ad = self.store.make_refresh_ad(source)
+        if ad is None:
+            return
+        budget = None
+        if self.params.forwarder in ("rw", "gsa"):
+            budget = max(
+                1,
+                int(
+                    self.forwarder.default_budget(ad)
+                    * self.params.refresh_budget_fraction
+                ),
+            )
+        self._disseminate(ad, now, budget=budget)
+
+    # --------------------------------------------------------------- warmup
+    def warmup(self, engine: SimulationEngine, start: float, duration: float) -> None:
+        """Schedule initial full-ad dissemination and refresh timers.
+
+        Full ads go out at jittered times in the first 60% of the window so
+        even the slowest walk delivery completes before measurement starts.
+        If ``bootstrap_ads_request`` is set, every node then performs the
+        "brand new node" ads request (Section III-C) late in the window,
+        merging its neighbours' caches -- this is the gossip step that makes
+        local lookups hit at query time.
+        """
+        self._engine = engine
+        rng = self.rng
+        for node in range(self.overlay.n):
+            if not self.overlay.is_live(node):
+                continue
+            if self.store.is_sharer(node):
+                at = start + float(rng.random()) * max(0.6 * duration, 1e-9)
+                engine.schedule_at(
+                    at,
+                    lambda n=node: self._issue_full_ad(n, self._engine.now),
+                    name=f"full-ad-{node}",
+                )
+            if self.params.bootstrap_ads_request:
+                at = start + (0.7 + 0.25 * float(rng.random())) * max(duration, 1e-9)
+                engine.schedule_at(
+                    at,
+                    lambda n=node: self._ads_request(n, self._engine.now),
+                    name=f"bootstrap-{node}",
+                )
+            self._start_refresh_timer(node, phase_base=start + duration)
+
+    def _start_refresh_timer(self, node: int, phase_base: float) -> None:
+        if self._engine is None or node in self._timers:
+            return
+        period = self.params.refresh_period_s
+        # Jittered phase so refreshes spread across the period.
+        phase = (
+            phase_base
+            - self._engine.now
+            + float(self.rng.random()) * period
+        )
+        self._timers[node] = PeriodicTimer(
+            self._engine,
+            period=period,
+            callback=lambda n=node: self._refresh_tick(n),
+            phase=max(phase, 1e-9),
+            name=f"refresh-{node}",
+        )
+
+    def _refresh_tick(self, node: int) -> None:
+        if self.overlay.is_live(node):
+            self._issue_refresh_ad(node, self._engine.now)
+
+    # ---------------------------------------------------------------- churn
+    def on_join(self, node: int, now: float) -> None:
+        # A rejoining node's content did not change while it was offline
+        # (observation 3, Section III-A), so peers that cached its ad still
+        # hold a valid copy: a refresh ad (header-only) re-announces
+        # liveness at a fraction of a full ad's cost.  Never-advertised
+        # sharers -- and the occasional genuinely new peer -- pay for a
+        # full ad.
+        fresh = (
+            node not in self._advertised
+            or float(self.rng.random()) < self.params.fresh_join_fraction
+        )
+        if fresh:
+            self._issue_full_ad(node, now)
+        else:
+            self._issue_refresh_ad(node, now)
+        if self.params.ads_request_on_join:
+            self._ads_request(node, now)
+        if self._engine is not None and node not in self._timers:
+            self._start_refresh_timer(node, phase_base=now)
+
+    def on_leave(self, node: int, now: float) -> None:
+        timer = self._timers.pop(node, None)
+        if timer is not None:
+            timer.stop()
+        # The node's repo is retained for a possible rejoin (paper: "if a
+        # node stays offline for a long time and then rejoins, the ads in
+        # its cache could be mostly out of date" -- the ads request on
+        # rejoin compensates).
+
+    def on_content_change(self, node: int, doc, added: bool, now: float) -> None:
+        ad = self.store.apply_content_change(node, doc, added)
+        if ad is not None and self.overlay.is_live(node):
+            self._disseminate(ad, now)
+
+    # ------------------------------------------------------------ ads request
+    def _neighbors_within_h(self, node: int) -> List[Tuple[int, float]]:
+        """Live nodes within ``h`` overlay hops with one-way path latency."""
+        h = self.params.ads_request_hops
+        if h == 0:
+            return []
+        nbrs, lats = self.overlay.live_neighbors(node)
+        frontier = {int(v): float(l) for v, l in zip(nbrs, lats)}
+        result = dict(frontier)
+        for _ in range(h - 1):
+            nxt: Dict[int, float] = {}
+            for v, d in frontier.items():
+                vn, vl = self.overlay.live_neighbors(v)
+                for w, l in zip(vn, vl):
+                    w = int(w)
+                    if w == node or w in result:
+                        continue
+                    cand = d + float(l)
+                    if w not in nxt or cand < nxt[w]:
+                        nxt[w] = cand
+            result.update(nxt)
+            frontier = nxt
+        return sorted(result.items())
+
+    def _ads_request(
+        self,
+        node: int,
+        now: float,
+        exclude: Optional[Set[int]] = None,
+        positions: Optional[np.ndarray] = None,
+    ) -> Tuple[Dict[int, float], int, float]:
+        """Ask neighbours within h hops for novel ads.
+
+        Two scopes (DESIGN.md section 3 documents the split):
+
+        * **bootstrap/join** (``positions is None``) -- neighbours return
+          every cached ad whose topics overlap the requester's interests:
+          the paper's "brand new node" cache transfer;
+        * **query fallback** (``positions`` given) -- neighbours return only
+          cached ads whose filter matches all query-term positions, i.e.
+          they run the requester's lookup on their own cache.  This keeps
+          per-search fallback cost to a few small messages, consistent with
+          the paper's reported search cost.
+
+        Returns ``(new_source -> availability_ms, messages, bytes)`` where
+        availability is the supplying neighbour's reply RTT.  ``exclude``
+        lists sources the requester just disproved by confirmation -- they
+        travel in the request digest, so neighbours do not send them back.
+        """
+        exclude = exclude or set()
+        repo = self.repos[node]
+        neighbors = self._neighbors_within_h(node)
+        new_sources: Dict[int, float] = {}
+        n_messages = 0
+        total_bytes = 0.0
+        request_size = self.sizes.ads_request + int(
+            math.ceil(len(repo) * self.params.digest_bytes_per_entry)
+        )
+        current_match = (
+            self.store.match_current(positions) if positions is not None else None
+        )
+        for nbr, one_way in neighbors:
+            n_messages += 1
+            total_bytes += request_size
+            self.ledger.record(
+                now, TrafficCategory.ADS_REQUEST, request_size, messages=1
+            )
+            nbr_repo = self.repos[nbr]
+            if positions is None:
+                offered = nbr_repo.entries.keys()
+            else:
+                offered = nbr_repo.lookup(positions, current_match)
+            novel = [
+                s
+                for s in sorted(set(offered) - repo.entries.keys() - exclude)
+                if s != node
+            ]
+            reply_bytes = float(self.sizes.ad_header)  # reply envelope
+            rtt = 2.0 * one_way
+            for s in novel:
+                entry = nbr_repo.entries[s]
+                if not repo.interested_in(entry.topics):
+                    continue
+                stored, evicted = repo.accept_snapshot(
+                    s, entry.version, entry.topics, now
+                )
+                reply_bytes += self.sizes.ad_header + compressed_filter_size(
+                    self.store.n_set_bits(s), self.store.hasher.m
+                )
+                if stored:
+                    self.cachers[s].add(node)
+                    for ev in evicted:
+                        self.cachers[ev].discard(node)
+                    if s not in new_sources or rtt < new_sources[s]:
+                        new_sources[s] = rtt
+            n_messages += 1
+            total_bytes += reply_bytes
+            self.ledger.record(
+                now + rtt / 1000.0,
+                TrafficCategory.ADS_REPLY,
+                reply_bytes,
+                messages=1,
+            )
+        return new_sources, n_messages, total_bytes
+
+    # ---------------------------------------------------------------- search
+    def search(
+        self, requester: int, terms: Sequence[str], now: float
+    ) -> SearchOutcome:
+        if self._local_hit(requester, terms):
+            return self._local_outcome()
+
+        positions = self.store.hasher.positions_array(terms)
+        current_match = self.store.match_current(positions)
+        repo = self.repos[requester]
+
+        candidates = repo.lookup(positions, current_match)
+        avail = {s: 0.0 for s in candidates}
+
+        n_messages = 0
+        total_bytes = 0.0
+        confirmed: List[Tuple[int, float]] = []  # (source, response_ms)
+        tried: Set[int] = set()
+
+        def confirm_round(cands: Dict[int, float]) -> None:
+            nonlocal n_messages, total_bytes
+            order = sorted(
+                (s for s in cands if s not in tried),
+                key=lambda s: self.overlay.direct_latency_ms(requester, s),
+            )
+            for s in order[: self.params.max_confirmations]:
+                tried.add(s)
+                lat = self.overlay.direct_latency_ms(requester, s)
+                n_messages += 1
+                total_bytes += self.sizes.confirmation_request
+                self.ledger.record(
+                    now,
+                    TrafficCategory.CONFIRMATION,
+                    self.sizes.confirmation_request,
+                    messages=1,
+                )
+                if not self.overlay.is_live(s):
+                    # Departed source: retire the stale ad.
+                    repo.remove(s)
+                    self.cachers[s].discard(requester)
+                    continue
+                n_messages += 1
+                total_bytes += self.sizes.confirmation_reply
+                self.ledger.record(
+                    now + 2.0 * lat / 1000.0,
+                    TrafficCategory.CONFIRMATION,
+                    self.sizes.confirmation_reply,
+                    messages=1,
+                )
+                if self.content.node_matches(s, terms):
+                    confirmed.append((s, cands[s] + 2.0 * lat))
+                else:
+                    # False positive or cross-document term split.
+                    repo.remove(s)
+                    self.cachers[s].discard(requester)
+
+        confirm_round(avail)
+
+        if len(confirmed) < self.params.more_results_threshold:
+            new_sources, req_msgs, req_bytes = self._ads_request(
+                requester, now, exclude=tried, positions=positions
+            )
+            n_messages += req_msgs
+            total_bytes += req_bytes
+            if new_sources:
+                fresh = repo.lookup(positions, self.store.match_current(positions))
+                round2 = {
+                    s: new_sources.get(s, 0.0)
+                    for s in fresh
+                    if s not in tried
+                }
+                confirm_round(round2)
+
+        if not confirmed:
+            return self._failure(n_messages, total_bytes)
+        response_time = min(t for _, t in confirmed)
+        return SearchOutcome(
+            success=True,
+            response_time_ms=response_time,
+            messages=n_messages,
+            cost_bytes=total_bytes,
+            results=len(confirmed),
+        )

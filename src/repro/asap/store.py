@@ -1,0 +1,181 @@
+"""The per-simulation source-filter store.
+
+Every sharing peer maintains a counting Bloom filter over its keyword
+multiset (paper Section III-B).  The store centralises, for all sources:
+
+* the counting filter (supports keyword removal on document removal);
+* the *current* plain bitmap, mirrored into a packed
+  :class:`~repro.bloom.matrix.FilterMatrix` so "which sources' current
+  filters match these query terms" is one vectorised call;
+* the current version number and the full patch history
+  ``[(version, changed-bit set), ...]`` -- enough to answer membership
+  questions against *any historical version* exactly, which is how cached
+  ads that missed patches are evaluated without storing per-cacher filter
+  snapshots;
+* the current topic set T (the semantic classes of the node's content).
+
+The store is pure state: it emits :class:`~repro.asap.ads.Ad` objects on
+content changes but never touches the network -- delivery and caching
+policy live in :mod:`repro.asap.delivery` and :mod:`repro.asap.repository`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.asap.ads import Ad, AdType
+from repro.bloom.filter import CountingBloomFilter
+from repro.bloom.hashing import BloomHasher, PAPER_K, PAPER_M
+from repro.bloom.matrix import FilterMatrix
+from repro.workload.content import ContentIndex, Document
+
+__all__ = ["SourceFilterStore"]
+
+
+class SourceFilterStore:
+    """Counting filters, versions, patch history and topics for all sources."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        content: ContentIndex,
+        hasher: Optional[BloomHasher] = None,
+    ) -> None:
+        self.hasher = hasher or BloomHasher(PAPER_M, PAPER_K)
+        self.n_nodes = n_nodes
+        self.content = content
+        self.matrix = FilterMatrix(n_nodes, self.hasher)
+        self._counting: Dict[int, CountingBloomFilter] = {}
+        self._version = np.zeros(n_nodes, dtype=np.int64)
+        # source -> [(version, frozenset(changed positions)), ...] ascending.
+        self._patches: Dict[int, List[Tuple[int, FrozenSet[int]]]] = {}
+        self._topics: Dict[int, Set[int]] = {}
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        """Build filters and topics from the initial content placement."""
+        for node in range(self.n_nodes):
+            docs = self.content.docs_on(node)
+            if not docs:
+                continue
+            cf = CountingBloomFilter(self.hasher)
+            topics: Set[int] = set()
+            for doc_id in docs:
+                doc = self.content.document(doc_id)
+                cf.add_all(doc.keywords)
+                topics.add(doc.class_id)
+            self._counting[node] = cf
+            self._topics[node] = topics
+            self.matrix.set_row(node, cf.bitmap_bits())
+
+    # --------------------------------------------------------------- queries
+    def version(self, source: int) -> int:
+        return int(self._version[source])
+
+    def topics(self, source: int) -> FrozenSet[int]:
+        return frozenset(self._topics.get(source, ()))
+
+    def n_set_bits(self, source: int) -> int:
+        cf = self._counting.get(source)
+        return cf.n_set if cf is not None else 0
+
+    def is_sharer(self, source: int) -> bool:
+        """Free-riders have a null filter and nothing to advertise."""
+        cf = self._counting.get(source)
+        return cf is not None and cf.n_set > 0
+
+    def patch_history(self, source: int) -> List[Tuple[int, FrozenSet[int]]]:
+        return list(self._patches.get(source, ()))
+
+    def match_current(self, positions: np.ndarray) -> np.ndarray:
+        """Which sources' *current* filters contain all positions."""
+        return self.matrix.match_all(positions)
+
+    def match_at_version(
+        self, source: int, version: int, positions: Sequence[int]
+    ) -> bool:
+        """Does the filter as of ``version`` contain all ``positions``?
+
+        Reconstructs historical bits exactly: a position's value at
+        ``version`` is its current value XOR the parity of flips recorded by
+        patches issued after ``version``.
+        """
+        later = [
+            changed
+            for (v, changed) in self._patches.get(source, ())
+            if v > version
+        ]
+        for pos in positions:
+            bit = self.matrix.get_bit(source, int(pos))
+            flips = sum(1 for changed in later if int(pos) in changed)
+            if flips % 2:
+                bit = not bit
+            if not bit:
+                return False
+        return True
+
+    # -------------------------------------------------------------- ad minting
+    def make_full_ad(self, source: int) -> Optional[Ad]:
+        """The source's current full ad; None for free-riders (null filter)."""
+        if not self.is_sharer(source):
+            return None
+        return Ad(
+            source=source,
+            ad_type=AdType.FULL,
+            topics=self.topics(source),
+            version=self.version(source),
+            n_set_bits=self.n_set_bits(source),
+            filter_bits=self.hasher.m,
+        )
+
+    def make_refresh_ad(self, source: int) -> Optional[Ad]:
+        if not self.is_sharer(source):
+            return None
+        return Ad(
+            source=source,
+            ad_type=AdType.REFRESH,
+            topics=self.topics(source),
+            version=self.version(source),
+            filter_bits=self.hasher.m,
+        )
+
+    def apply_content_change(
+        self, node: int, doc: Document, added: bool
+    ) -> Optional[Ad]:
+        """Update the source's filter for a document add/remove.
+
+        Returns the patch ad to disseminate, or None when the plain bitmap
+        did not change (e.g. removing a document whose keywords all remain
+        covered by other documents -- counting filter semantics).
+        """
+        cf = self._counting.get(node)
+        if cf is None:
+            cf = CountingBloomFilter(self.hasher)
+            self._counting[node] = cf
+            self._topics[node] = set()
+        before = cf.bitmap_bits().copy()
+        if added:
+            cf.add_all(doc.keywords)
+        else:
+            cf.remove_all(doc.keywords)
+        changed = cf.diff_positions(before)
+        # Topics track the node's current content classes exactly.
+        self._topics[node] = set(self.content.node_classes(node))
+        if len(changed) == 0:
+            return None
+        self._version[node] += 1
+        version = int(self._version[node])
+        self._patches.setdefault(node, []).append(
+            (version, frozenset(int(p) for p in changed))
+        )
+        self.matrix.flip_bits(node, changed)
+        return Ad(
+            source=node,
+            ad_type=AdType.PATCH,
+            topics=self.topics(node),
+            version=version,
+            changed_positions=tuple(int(p) for p in sorted(changed)),
+            filter_bits=self.hasher.m,
+        )

@@ -1,0 +1,206 @@
+"""Hierarchical ASAP: only super peers handle ads (paper footnote 3).
+
+The paper excludes super-peer architectures from its baselines but notes
+that "ASAP can work well on hierarchical systems in which only super peers
+are responsible for ad representation, delivery, caching and processing".
+This module implements that variant:
+
+* a fraction of peers (the best-connected ones) are designated **super
+  peers**; every leaf attaches to its nearest live super peer;
+* a leaf's shared content is advertised *by its super peer*: the super
+  peer aggregates its leaves' filters into per-leaf entries and delivers
+  their ads over the super-peer backbone (same FLD/RW/GSA forwarders);
+* only super peers maintain ads caches; a leaf's search costs one extra
+  hop (leaf -> super peer) before the usual ASAP flow, and confirmations
+  still go directly to the content owner.
+
+The leaf hop adds ~one RTT to response time but shrinks the number of
+caching/delivery participants by the super-peer ratio -- the classic
+hierarchy trade-off this module lets you measure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.asap.protocol import AsapParams, AsapSearch
+from repro.network.overlay import Overlay
+from repro.search.base import SearchOutcome
+from repro.sim.metrics import TrafficCategory
+
+__all__ = ["SuperPeerAsapSearch", "elect_super_peers"]
+
+
+def elect_super_peers(
+    overlay: Overlay, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Designate the top-degree ``fraction`` of live nodes as super peers.
+
+    Degree is the natural capability proxy on a crawled overlay (Limewire
+    ultrapeers are exactly its high-degree nodes).  Ties break randomly but
+    deterministically under the provided RNG.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    live = overlay.live_nodes()
+    if len(live) == 0:
+        raise ValueError("no live nodes to elect from")
+    n_supers = max(1, int(round(fraction * len(live))))
+    degrees = np.array([overlay.live_degree(int(v)) for v in live], dtype=np.float64)
+    degrees += rng.random(len(live)) * 0.5  # deterministic tie-break jitter
+    order = np.argsort(-degrees)
+    return np.sort(live[order[:n_supers]])
+
+
+class SuperPeerAsapSearch(AsapSearch):
+    """ASAP where ads live only on the super-peer tier."""
+
+    def __init__(
+        self,
+        *args,
+        super_fraction: float = 0.15,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.name = f"ASAP-SP({self.params.forwarder.upper()})"
+        self.super_fraction = super_fraction
+        self._supers = elect_super_peers(
+            self.overlay, super_fraction, self.rng
+        )
+        self._is_super = np.zeros(self.overlay.n, dtype=bool)
+        self._is_super[self._supers] = True
+        # Leaf -> its super peer (nearest by one-way latency).
+        self._super_of: Dict[int, int] = {}
+        for node in self.overlay.live_nodes():
+            node = int(node)
+            if not self._is_super[node]:
+                self._super_of[node] = self._nearest_super(node)
+        # Super peers aggregate their leaves' interests so they cache every
+        # ad any of their leaves would want.
+        for leaf, sp in self._super_of.items():
+            self.repos[sp].interests |= set(self.interests[leaf])
+
+    # ------------------------------------------------------------- plumbing
+    def _nearest_super(self, node: int) -> int:
+        live_supers = self._supers[self.overlay.live_mask[self._supers]]
+        if len(live_supers) == 0:
+            # All super peers departed: promote the best-connected live node.
+            promoted = elect_super_peers(self.overlay, 0.01, self.rng)
+            self._is_super[promoted] = True
+            self._supers = np.sort(np.concatenate([self._supers, promoted]))
+            live_supers = promoted
+        lats = self.overlay.direct_latencies_ms(node, live_supers)
+        return int(live_supers[int(np.argmin(lats))])
+
+    def is_super_peer(self, node: int) -> bool:
+        return bool(self._is_super[node])
+
+    def super_peer_of(self, node: int) -> int:
+        """The super peer responsible for ``node`` (itself if it is one)."""
+        if self._is_super[node]:
+            return node
+        sp = self._super_of.get(node)
+        if sp is None or not self.overlay.is_live(sp):
+            sp = self._nearest_super(node)
+            self._super_of[node] = sp
+        return sp
+
+    def _disseminate(self, ad, now, budget=None) -> None:
+        """Deliver an ad but let only super peers cache it."""
+        report = self.forwarder.deliver(ad, now, budget=budget)
+        visited_supers = [v for v in report.visited if self._is_super[v]]
+        for node in visited_supers:
+            repo = self.repos[node]
+            stored, evicted = repo.accept(ad, now)
+            if stored:
+                self.cachers[ad.source].add(node)
+            for evicted_source in evicted:
+                self.cachers[evicted_source].discard(node)
+            if ad.source in repo.behind and self.overlay.is_live(ad.source):
+                self._repair_entry(node, ad.source, now)
+        if ad.ad_type.value == "patch":
+            for node in self.cachers[ad.source] - set(visited_supers):
+                self.repos[node].mark_behind(ad.source)
+
+    def warmup(self, engine, start: float, duration: float) -> None:
+        """As in flat ASAP, except only super peers bootstrap caches."""
+        self._engine = engine
+        rng = self.rng
+        for node in range(self.overlay.n):
+            if not self.overlay.is_live(node):
+                continue
+            if self.store.is_sharer(node):
+                at = start + float(rng.random()) * max(0.6 * duration, 1e-9)
+                engine.schedule_at(
+                    at,
+                    lambda n=node: self._issue_full_ad(n, self._engine.now),
+                    name=f"full-ad-{node}",
+                )
+            if self.params.bootstrap_ads_request and self._is_super[node]:
+                at = start + (0.7 + 0.25 * float(rng.random())) * max(duration, 1e-9)
+                engine.schedule_at(
+                    at,
+                    lambda n=node: self._ads_request(n, self._engine.now),
+                    name=f"bootstrap-{node}",
+                )
+            if self.store.is_sharer(node):
+                self._start_refresh_timer(node, phase_base=start + duration)
+
+    # ---------------------------------------------------------------- search
+    def search(
+        self, requester: int, terms: Sequence[str], now: float
+    ) -> SearchOutcome:
+        if self._local_hit(requester, terms):
+            return self._local_outcome()
+        if self._is_super[requester]:
+            return super().search(requester, terms, now)
+
+        # Leaf: route the request through its super peer (one extra hop
+        # each way); the super peer runs the normal ASAP flow.
+        sp = self.super_peer_of(requester)
+        leaf_rtt = 2.0 * self.overlay.direct_latency_ms(requester, sp)
+        self.ledger.record(
+            now, TrafficCategory.CONFIRMATION, self.sizes.query, messages=1
+        )
+        inner = super().search(sp, terms, now)
+        self.ledger.record(
+            now, TrafficCategory.CONFIRMATION, self.sizes.query_response, messages=1
+        )
+        extra_bytes = self.sizes.query + self.sizes.query_response
+        if not inner.success:
+            return SearchOutcome(
+                success=False,
+                response_time_ms=math.inf,
+                messages=inner.messages + 2,
+                cost_bytes=inner.cost_bytes + extra_bytes,
+                results=0,
+            )
+        return SearchOutcome(
+            success=True,
+            response_time_ms=inner.response_time_ms + leaf_rtt,
+            messages=inner.messages + 2,
+            cost_bytes=inner.cost_bytes + extra_bytes,
+            results=inner.results,
+        )
+
+    # ----------------------------------------------------------------- churn
+    def on_join(self, node: int, now: float) -> None:
+        # Joining nodes re-evaluate their tier attachment; ad issuance is
+        # unchanged (delivery lands on super peers only).
+        if not self._is_super[node]:
+            self._super_of[node] = self._nearest_super(node)
+        fresh = (
+            node not in self._advertised
+            or float(self.rng.random()) < self.params.fresh_join_fraction
+        )
+        if fresh:
+            self._issue_full_ad(node, now)
+        else:
+            self._issue_refresh_ad(node, now)
+        if self.params.ads_request_on_join and self._is_super[node]:
+            self._ads_request(node, now)
+        if self._engine is not None and node not in self._timers:
+            self._start_refresh_timer(node, phase_base=now)

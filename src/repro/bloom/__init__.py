@@ -1,0 +1,42 @@
+"""Bloom-filter machinery for ad content summaries (paper Section III-B).
+
+ASAP summarises a peer's shared keywords in a fixed-length Bloom filter
+(m = 11,542 bits, k = 8 -- sized for |K_max| = 1,000 keywords at the
+minimum false-positive rate of 0.39%).  This subpackage provides:
+
+* :mod:`repro.bloom.hashing` -- the universal hash family all peers agree on;
+* :mod:`repro.bloom.filter` -- plain and counting Bloom filters (sources keep
+  a counting filter so keyword removal is possible; the plain bitmap is what
+  travels in a full ad);
+* :mod:`repro.bloom.compressed` -- wire-format sizes: the sparse
+  "(i, x)-tuples, only i transmitted" encoding for peers with few keywords,
+  and patch (changed-bit list) encoding for incremental updates;
+* :mod:`repro.bloom.matrix` -- a packed bit-matrix over all sources enabling
+  vectorised "which sources match this query" tests, the hot path of every
+  ASAP lookup in the simulator.
+"""
+
+from repro.bloom.compressed import compressed_filter_size, patch_size
+from repro.bloom.filter import BloomFilter, CountingBloomFilter
+from repro.bloom.hashing import BloomHasher, PAPER_K, PAPER_M, optimal_bits
+from repro.bloom.matrix import FilterMatrix
+from repro.bloom.variable import (
+    UniversalHashFamily,
+    VariableLengthBloomFilter,
+    default_length_pool,
+)
+
+__all__ = [
+    "BloomFilter",
+    "BloomHasher",
+    "CountingBloomFilter",
+    "FilterMatrix",
+    "PAPER_K",
+    "PAPER_M",
+    "UniversalHashFamily",
+    "VariableLengthBloomFilter",
+    "compressed_filter_size",
+    "default_length_pool",
+    "optimal_bits",
+    "patch_size",
+]

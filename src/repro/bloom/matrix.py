@@ -1,0 +1,100 @@
+"""Packed bit-matrix over all source filters for vectorised match tests.
+
+Every ASAP lookup asks, for each cached ad, "does this filter contain all
+query-term positions?"  Done per-ad in Python that is the simulator's
+bottleneck; done once globally it is a handful of NumPy gathers.  The
+:class:`FilterMatrix` keeps one packed row (m/8 bytes) per source -- 14 MB
+for 10,000 sources at m = 11,542 -- and answers ``match_all(positions)``
+for *all* sources simultaneously.  Per-query work is
+O(n_sources * n_positions / 8) byte-ops, entirely inside NumPy.
+
+The matrix reflects each source's *current* filter; staleness of cached
+copies (a cache holding version v while the source is at version v+2) is
+reconciled by the ads repository using the source's patch history, which
+only ever involves a few dirty sources per query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.bloom.hashing import BloomHasher
+
+__all__ = ["FilterMatrix"]
+
+
+class FilterMatrix:
+    """One packed filter row per source; vectorised all-sources match tests."""
+
+    def __init__(self, n_sources: int, hasher: BloomHasher) -> None:
+        if n_sources < 0:
+            raise ValueError("negative source count")
+        self.hasher = hasher
+        self.n_sources = n_sources
+        self._n_bytes = (hasher.m + 7) // 8
+        self._rows = np.zeros((n_sources, self._n_bytes), dtype=np.uint8)
+
+    # ------------------------------------------------------------- updates
+    def set_row(self, source: int, bits: np.ndarray) -> None:
+        """Replace ``source``'s row with a boolean bit array of length m."""
+        if len(bits) != self.hasher.m:
+            raise ValueError(
+                f"bit array length {len(bits)} != filter length {self.hasher.m}"
+            )
+        self._rows[source] = np.packbits(
+            np.asarray(bits, dtype=np.uint8), bitorder="little"
+        )
+
+    def flip_bits(self, source: int, positions: Sequence[int]) -> None:
+        """Flip the given bit positions in ``source``'s row (patch apply)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if len(pos) == 0:
+            return
+        if pos.min() < 0 or pos.max() >= self.hasher.m:
+            raise ValueError("bit position out of range")
+        bytes_idx = pos >> 3
+        masks = (1 << (pos & 7)).astype(np.uint8)
+        # Positions are unique within a patch, so XOR per position is safe;
+        # accumulate per byte to handle several positions in one byte.
+        np.bitwise_xor.at(self._rows[source], bytes_idx, masks)
+
+    def clear_row(self, source: int) -> None:
+        self._rows[source] = 0
+
+    # -------------------------------------------------------------- queries
+    def get_bit(self, source: int, position: int) -> bool:
+        if not 0 <= position < self.hasher.m:
+            raise ValueError("bit position out of range")
+        return bool((self._rows[source, position >> 3] >> (position & 7)) & 1)
+
+    def row_bits(self, source: int) -> np.ndarray:
+        """Unpacked boolean bit array for one source."""
+        return np.unpackbits(self._rows[source], bitorder="little")[
+            : self.hasher.m
+        ].astype(bool)
+
+    def match_all(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean vector: which sources have ALL ``positions`` set.
+
+        An empty position set matches every source (vacuous truth), which
+        the callers treat as "no query terms" and reject earlier.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if len(pos) == 0:
+            return np.ones(self.n_sources, dtype=bool)
+        if pos.min() < 0 or pos.max() >= self.hasher.m:
+            raise ValueError("bit position out of range")
+        bytes_idx = pos >> 3
+        masks = (1 << (pos & 7)).astype(np.uint8)
+        gathered = self._rows[:, bytes_idx]  # (n_sources, n_positions)
+        return np.all(gathered & masks == masks, axis=1)
+
+    def match_terms(self, terms: Iterable[str]) -> np.ndarray:
+        """Which sources' filters contain every term (paper's match rule)."""
+        return self.match_all(self.hasher.positions_array(terms))
+
+    def matching_sources(self, terms: Iterable[str]) -> np.ndarray:
+        """Source ids whose filters match all ``terms``."""
+        return np.nonzero(self.match_terms(terms))[0]

@@ -1,0 +1,145 @@
+"""Variable-length Bloom filters (the paper's alternative design).
+
+Section III-B sketches two ways to fix the filter-length/keyword-set
+mismatch across heterogeneous peers.  The paper *chooses* fixed-length
+filters (simplicity; one hash set); this module implements the alternative
+it describes, so the trade-off can be studied:
+
+    "Suppose all nodes agree on a set of universal hash functions
+    {h_1, ..., h_k} and a pool of available filter lengths.  Each node p
+    chooses a minimum filter length that is greater than |K_p| k / ln 2.
+    When mapping or querying an item on a filter F with length l(F), we
+    can use ... h'_i = h_i mod l(F)."
+
+Lengths come from a shared pool (powers of two by default, so the modulo
+folding distributes well); a peer picks the smallest pool length exceeding
+its optimal size.  Membership tests against a filter of *any* pool length
+use the same universal hash values folded to that length -- no per-length
+hash family needed, which is the scheme's point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from functools import lru_cache
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bloom.hashing import PAPER_K
+
+__all__ = ["UniversalHashFamily", "VariableLengthBloomFilter", "default_length_pool"]
+
+
+def default_length_pool(min_bits: int = 256, max_bits: int = 1 << 17) -> Tuple[int, ...]:
+    """The shared pool of available filter lengths (powers of two)."""
+    if min_bits < 8:
+        raise ValueError("minimum pool length too small")
+    if max_bits < min_bits:
+        raise ValueError("max_bits < min_bits")
+    pool: List[int] = []
+    length = min_bits
+    while length <= max_bits:
+        pool.append(length)
+        length *= 2
+    return tuple(pool)
+
+
+class UniversalHashFamily:
+    """The universal functions {h_1..h_k} all peers agree on.
+
+    Values are drawn over a huge range (2**61 - 1, a Mersenne prime) and
+    folded per filter length with ``h'_i = h_i mod l(F)``.
+    """
+
+    RANGE = (1 << 61) - 1
+
+    def __init__(self, k: int = PAPER_K) -> None:
+        if k < 1:
+            raise ValueError("need at least one hash function")
+        self.k = k
+        self._cache = lru_cache(maxsize=1 << 16)(self._raw_uncached)
+
+    def _raw_uncached(self, term: str) -> Tuple[int, ...]:
+        digest = hashlib.blake2b(term.encode("utf-8"), digest_size=16).digest()
+        a = int.from_bytes(digest[:8], "little")
+        b = int.from_bytes(digest[8:], "little") | 1
+        return tuple((a + i * b) % self.RANGE for i in range(self.k))
+
+    def raw_values(self, term: str) -> Tuple[int, ...]:
+        """The universal (length-independent) hash values of ``term``."""
+        return self._cache(term)
+
+    def positions(self, term: str, length: int) -> Tuple[int, ...]:
+        """h'_i = h_i mod l(F): positions of ``term`` in a length-l filter."""
+        if length < 1:
+            raise ValueError("filter length must be positive")
+        return tuple(v % length for v in self.raw_values(term))
+
+
+class VariableLengthBloomFilter:
+    """A per-peer filter whose length is chosen from the shared pool."""
+
+    def __init__(
+        self,
+        expected_items: int,
+        family: UniversalHashFamily | None = None,
+        pool: Sequence[int] | None = None,
+    ) -> None:
+        if expected_items < 0:
+            raise ValueError("expected_items must be >= 0")
+        self.family = family or UniversalHashFamily()
+        self.pool = tuple(pool) if pool is not None else default_length_pool()
+        if not self.pool:
+            raise ValueError("empty length pool")
+        self.length = self.choose_length(expected_items, self.family.k, self.pool)
+        self._bits = np.zeros(self.length, dtype=bool)
+        self._n_items = 0
+
+    @staticmethod
+    def choose_length(n_items: int, k: int, pool: Sequence[int]) -> int:
+        """Smallest pool length greater than n*k/ln2 (paper's rule)."""
+        optimal = n_items * k / math.log(2)
+        for length in sorted(pool):
+            if length > optimal:
+                return length
+        return max(pool)  # saturate at the pool's largest length
+
+    # ------------------------------------------------------------- mutation
+    def add(self, term: str) -> None:
+        for pos in self.family.positions(term, self.length):
+            self._bits[pos] = True
+        self._n_items += 1
+
+    def add_all(self, terms: Iterable[str]) -> None:
+        for term in terms:
+            self.add(term)
+
+    # -------------------------------------------------------------- queries
+    def __contains__(self, term: str) -> bool:
+        return all(self._bits[p] for p in self.family.positions(term, self.length))
+
+    def contains_all(self, terms: Iterable[str]) -> bool:
+        return all(term in self for term in terms)
+
+    @property
+    def n_set(self) -> int:
+        return int(np.count_nonzero(self._bits))
+
+    def fill_ratio(self) -> float:
+        return self.n_set / self.length
+
+    def false_positive_rate(self) -> float:
+        return float(self.fill_ratio() ** self.family.k)
+
+    def wire_size_bytes(self) -> int:
+        """min(raw bitmap, sparse index list) at this filter's length."""
+        index_bytes = max(1, math.ceil(math.log2(max(self.length, 2)) / 8))
+        return min(math.ceil(self.length / 8), self.n_set * index_bytes)
+
+    def rebuild_for(self, expected_items: int) -> "VariableLengthBloomFilter":
+        """A fresh, larger/smaller filter when the keyword set outgrows this
+        one (contents are NOT carried over -- the caller re-adds terms, as
+        a real peer would when its optimal length changes)."""
+        return VariableLengthBloomFilter(expected_items, self.family, self.pool)

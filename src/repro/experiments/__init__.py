@@ -1,0 +1,42 @@
+"""Per-figure experiment drivers (paper Section V).
+
+Figures 4, 5, 6, 8 and 9 all derive from the same 6-algorithm x 3-topology
+grid of trace replays, so :class:`~repro.experiments.figures.ExperimentGrid`
+runs each (algorithm, topology) cell once and memoises the result; the
+figure functions then extract their metric.  Figures 2 and 3 are workload
+properties (no simulation), Figure 7 is the ASAP(RW) load breakdown and
+Figure 10 the real-time load snapshot.
+"""
+
+from repro.experiments.figures import (
+    ExperimentGrid,
+    ExperimentScale,
+    GridFigure,
+    fig2_semantic_classes,
+    fig3_node_interests,
+    fig4_success_rate,
+    fig5_response_time,
+    fig6_search_cost,
+    fig7_load_breakdown,
+    fig8_avg_system_load,
+    fig9_load_variation,
+    fig10_realtime_load,
+)
+from repro.experiments.report import format_bar_chart, format_grid_table
+
+__all__ = [
+    "ExperimentGrid",
+    "ExperimentScale",
+    "GridFigure",
+    "fig2_semantic_classes",
+    "fig3_node_interests",
+    "fig4_success_rate",
+    "fig5_response_time",
+    "fig6_search_cost",
+    "fig7_load_breakdown",
+    "fig8_avg_system_load",
+    "fig9_load_variation",
+    "fig10_realtime_load",
+    "format_bar_chart",
+    "format_grid_table",
+]

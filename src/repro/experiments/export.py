@@ -1,0 +1,68 @@
+"""CSV export of figure data (for external plotting tools).
+
+The text tables in :mod:`repro.experiments.report` are for terminals; this
+module flattens every figure type into rows of ``(figure, series, x, y)``
+and writes standard CSV, so gnuplot/pandas/spreadsheets can regenerate the
+paper's bar charts and time series without depending on this package.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.experiments.figures import (
+    BreakdownFigure,
+    GridFigure,
+    RealtimeLoadFigure,
+    WorkloadFigure,
+)
+
+__all__ = ["figure_rows", "figure_to_csv", "write_figure_csv"]
+
+Row = Tuple[str, str, str, float]
+
+AnyFigure = Union[WorkloadFigure, GridFigure, BreakdownFigure, RealtimeLoadFigure]
+
+
+def figure_rows(fig: AnyFigure) -> List[Row]:
+    """Flatten any figure into (figure, series, x, y) rows."""
+    if isinstance(fig, WorkloadFigure):
+        return [
+            (fig.figure, "count", label, float(count))
+            for label, count in zip(fig.labels, fig.counts)
+        ]
+    if isinstance(fig, GridFigure):
+        return [
+            (fig.figure, algorithm, topology, float(value))
+            for algorithm, row in fig.values.items()
+            for topology, value in row.items()
+        ]
+    if isinstance(fig, BreakdownFigure):
+        return [
+            (fig.figure, "fraction", category, float(frac))
+            for category, frac in fig.fractions.items()
+        ]
+    if isinstance(fig, RealtimeLoadFigure):
+        return [
+            (fig.figure, name, str(fig.window_start + i), float(v))
+            for name, series in fig.series.items()
+            for i, v in enumerate(series)
+        ]
+    raise TypeError(f"unknown figure type {type(fig).__name__}")
+
+
+def figure_to_csv(fig: AnyFigure) -> str:
+    """Render a figure as CSV text with a header row."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["figure", "series", "x", "y"])
+    writer.writerows(figure_rows(fig))
+    return buf.getvalue()
+
+
+def write_figure_csv(fig: AnyFigure, path: Union[str, Path]) -> None:
+    """Write a figure's CSV to ``path``."""
+    Path(path).write_text(figure_to_csv(fig))

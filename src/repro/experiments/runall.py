@@ -1,0 +1,137 @@
+"""Regenerate every paper figure in one command.
+
+Usage::
+
+    python -m repro.experiments.runall [--peers N] [--queries Q] [--seed S]
+                                       [--output report.md]
+
+Runs the full (algorithm x topology) grid once, renders all ten figures,
+and writes a markdown report (tables + qualitative checks).  This is the
+scriptable counterpart of ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.figures import (
+    ExperimentGrid,
+    ExperimentScale,
+    fig2_semantic_classes,
+    fig3_node_interests,
+    fig4_success_rate,
+    fig5_response_time,
+    fig6_search_cost,
+    fig7_load_breakdown,
+    fig8_avg_system_load,
+    fig9_load_variation,
+    fig10_realtime_load,
+)
+
+__all__ = ["main", "build_report"]
+
+
+def build_report(scale: ExperimentScale, progress=None) -> str:
+    """Run everything and return the markdown report."""
+    log = progress or (lambda _msg: None)
+    grid = ExperimentGrid(scale)
+    sections: List[str] = [
+        "# ASAP reproduction report",
+        "",
+        f"- peers: {scale.n_peers}",
+        f"- queries: {scale.n_queries}",
+        f"- seed: {scale.seed}",
+        f"- algorithms: {', '.join(scale.algorithms)}",
+        f"- topologies: {', '.join(scale.topologies)}",
+        "",
+    ]
+
+    log("figures 2-3 (workload)")
+    for fig_fn in (fig2_semantic_classes, fig3_node_interests):
+        sections += ["```", fig_fn(scale).format_table(), "```", ""]
+
+    grid_figs = (
+        fig4_success_rate,
+        fig5_response_time,
+        fig6_search_cost,
+        fig8_avg_system_load,
+        fig9_load_variation,
+    )
+    for fig_fn in grid_figs:
+        log(fig_fn.__name__)
+        sections += ["```", fig_fn(grid).format_table(), "```", ""]
+
+    log("figure 7 (breakdown)")
+    fig7 = fig7_load_breakdown(grid)
+    sections += ["```", fig7.format_table(), "```", ""]
+
+    log("figure 10 (real-time load)")
+    fig10 = fig10_realtime_load(grid)
+    sections += ["```", fig10.format_table(), "```", ""]
+
+    # Qualitative shape checks mirrored from the benchmark assertions.
+    checks: List[str] = []
+    v4 = fig4_success_rate(grid).values
+    v5 = fig5_response_time(grid).values
+    v6 = fig6_search_cost(grid).values
+    v8 = fig8_avg_system_load(grid).values
+
+    def check(name: str, ok: bool) -> None:
+        checks.append(f"- [{'x' if ok else ' '}] {name}")
+
+    topos = list(scale.topologies)
+    check(
+        "ASAP response time >= 50% below flooding on every topology",
+        all(v5["ASAP(RW)"][t] < 0.5 * v5["flooding"][t] for t in topos),
+    )
+    check(
+        "ASAP search cost >= 30x below flooding on every topology",
+        all(v6["ASAP(RW)"][t] * 30 <= v6["flooding"][t] for t in topos),
+    )
+    check(
+        "ASAP(RW) success above random walk everywhere",
+        all(v4["ASAP(RW)"][t] > v4["random_walk"][t] for t in topos),
+    )
+    check(
+        "ASAP(RW) load below the random-walk baseline everywhere",
+        all(v8["ASAP(RW)"][t] < v8["random_walk"][t] for t in topos),
+    )
+    check(
+        "patch+refresh ads dominate full ads in ASAP(RW) load",
+        fig7.patch_refresh_fraction > fig7.full_ad_fraction,
+    )
+    sections += ["## Shape checks", ""] + checks + [""]
+    return "\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--peers", type=int, default=400)
+    parser.add_argument("--queries", type=int, default=800)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    scale = ExperimentScale(
+        n_peers=args.peers, n_queries=args.queries, seed=args.seed
+    )
+    start = time.time()
+    report = build_report(
+        scale, progress=lambda msg: print(f"[runall] {msg}", file=sys.stderr)
+    )
+    elapsed = time.time() - start
+    report += f"\n_generated in {elapsed:.0f}s_\n"
+    if args.output is not None:
+        args.output.write_text(report)
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Exact hierarchical latency model over the transit-stub network.
+
+GT-ITM stub domains have no cross edges, so the shortest physical path
+between two nodes in *different* stub domains always decomposes as::
+
+    u --(intra-stub)--> gateway_u --(5ms)--> transit_u
+      --(transit core shortest path)--> transit_v
+      --(5ms)--> gateway_v --(intra-stub)--> v
+
+Each segment is exact: intra-stub distances come from per-domain BFS APSP,
+and the core segment from Dijkstra APSP over the 144 transit nodes.  Nodes
+in the *same* stub domain use the intra-domain shortest path directly (which
+by the triangle inequality within the domain is never worse than detouring
+through the gateway).
+
+The model exposes both a scalar ``latency_ms(u, v)`` and a vectorised
+``pairwise_ms(us, vs)``.  The vector path precomputes, per registered node,
+its *anchor* transit node and its *offset* (latency to reach that anchor) so
+a batch of M pairs costs a handful of NumPy gathers -- this is the hot path
+feeding per-edge overlay latencies and confirmation RTTs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.network.transit_stub import TransitStubNetwork
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Latency oracle between physical node ids of a transit-stub network."""
+
+    def __init__(self, network: TransitStubNetwork) -> None:
+        self._net = network
+        self._core = network.transit_core_distances()
+        n = network.n_nodes
+        # Lazily-filled per-node vectors (NaN/-1 marks "not yet registered").
+        self._offset_ms = np.full(n, np.nan, dtype=np.float64)
+        self._anchor = np.full(n, -1, dtype=np.int64)
+        self._domain = np.full(n, -1, dtype=np.int64)  # -1 for transit nodes
+
+    @property
+    def network(self) -> TransitStubNetwork:
+        return self._net
+
+    # ---------------------------------------------------------- registration
+    def register(self, nodes: Iterable[int]) -> None:
+        """Precompute anchor/offset for ``nodes`` so vector queries are O(1).
+
+        Registration is idempotent and lazy per stub domain: only domains
+        that actually contain registered nodes are materialised.
+        """
+        net = self._net
+        for node in nodes:
+            node = int(node)
+            if not np.isnan(self._offset_ms[node]):
+                continue
+            if net.is_transit(node):
+                self._offset_ms[node] = 0.0
+                self._anchor[node] = node
+                self._domain[node] = -1
+            else:
+                self._offset_ms[node] = (
+                    net.gateway_distance_ms(node) + net.params.lat_transit_stub_ms
+                )
+                self._anchor[node] = net.transit_anchor(node)
+                self._domain[node] = net.stub_domain_of(node)
+
+    def _ensure(self, node: int) -> None:
+        if np.isnan(self._offset_ms[node]):
+            self.register([node])
+
+    # --------------------------------------------------------------- queries
+    def latency_ms(self, u: int, v: int) -> float:
+        """Exact one-way latency between physical nodes ``u`` and ``v``."""
+        u, v = int(u), int(v)
+        if u == v:
+            return 0.0
+        self._ensure(u)
+        self._ensure(v)
+        du, dv = self._domain[u], self._domain[v]
+        if du >= 0 and du == dv:
+            return self._net.intra_domain_distance_ms(u, v)
+        return float(
+            self._offset_ms[u]
+            + self._core[self._anchor[u], self._anchor[v]]
+            + self._offset_ms[v]
+        )
+
+    def pairwise_ms(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`latency_ms` over aligned arrays of node ids."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError(f"shape mismatch: {us.shape} vs {vs.shape}")
+        unregistered = np.isnan(self._offset_ms[us]) | np.isnan(self._offset_ms[vs])
+        if np.any(unregistered):
+            self.register(np.unique(np.concatenate([us[unregistered], vs[unregistered]])))
+        out = (
+            self._offset_ms[us]
+            + self._core[self._anchor[us], self._anchor[vs]]
+            + self._offset_ms[vs]
+        )
+        # Same-stub-domain pairs: exact intra-domain distance.
+        same = (self._domain[us] >= 0) & (self._domain[us] == self._domain[vs])
+        if np.any(same):
+            idx = np.nonzero(same)[0]
+            for i in idx:
+                out[i] = self._net.intra_domain_distance_ms(int(us[i]), int(vs[i]))
+        out[us == vs] = 0.0
+        return out
+
+    def one_to_many_ms(self, u: int, vs: np.ndarray) -> np.ndarray:
+        """Latency from one node to many (convenience over pairwise_ms)."""
+        vs = np.asarray(vs, dtype=np.int64)
+        return self.pairwise_ms(np.full(vs.shape, u, dtype=np.int64), vs)

@@ -1,0 +1,301 @@
+"""GT-ITM transit-stub physical network model.
+
+Reimplements the topology of Zegura et al. ("How to model an internetwork",
+INFOCOM'96) with the exact parameters of the paper's Section IV-A:
+
+* 9 transit domains, 16 transit nodes each (144 transit nodes);
+* every transit node has 9 stub domains attached;
+* every stub domain has 40 stub nodes (51,840 stub nodes; 51,984 total);
+* the 9 transit domains are fully connected at the top level;
+* two transit nodes in one transit domain connect with probability 0.6;
+* two stub nodes in one stub domain connect with probability 0.4;
+* no edges between stub nodes of different stub domains;
+* link latencies: 50 ms inter-transit-domain, 20 ms intra-transit-domain,
+  5 ms transit-to-stub, 2 ms intra-stub-domain.
+
+Node numbering
+--------------
+Transit nodes occupy ids ``0 .. n_transit-1``; stub node ids follow,
+``n_transit + sd * stub_size + j`` for stub domain ``sd`` and local index
+``j``.  With the defaults, ids run 0..51,983 -- matching the paper's count.
+
+Laziness
+--------
+Only the transit core (144 nodes) is materialised eagerly.  Each of the
+1,296 stub-domain graphs is generated on first touch from its own named RNG
+substream, so results are deterministic regardless of access order and a
+scaled-down experiment that touches 50 domains never pays for 1,296.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra, shortest_path
+
+from repro.sim.random import RandomStreams
+
+__all__ = ["TransitStubNetwork", "TransitStubParams", "StubDomain"]
+
+
+@dataclass(frozen=True)
+class TransitStubParams:
+    """Shape and latency parameters of the transit-stub model.
+
+    Defaults are the paper's exact configuration (51,984 physical nodes).
+    """
+
+    n_transit_domains: int = 9
+    transit_nodes_per_domain: int = 16
+    stub_domains_per_transit: int = 9
+    stub_nodes_per_domain: int = 40
+    p_transit_edge: float = 0.6
+    p_stub_edge: float = 0.4
+    lat_inter_transit_ms: float = 50.0
+    lat_intra_transit_ms: float = 20.0
+    lat_transit_stub_ms: float = 5.0
+    lat_intra_stub_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_transit_domains < 1:
+            raise ValueError("need at least one transit domain")
+        if self.transit_nodes_per_domain < 1:
+            raise ValueError("need at least one transit node per domain")
+        if self.stub_domains_per_transit < 0:
+            raise ValueError("stub_domains_per_transit must be >= 0")
+        if self.stub_nodes_per_domain < 1:
+            raise ValueError("need at least one stub node per domain")
+        for p in (self.p_transit_edge, self.p_stub_edge):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"edge probability out of range: {p}")
+
+    @property
+    def n_transit(self) -> int:
+        return self.n_transit_domains * self.transit_nodes_per_domain
+
+    @property
+    def n_stub_domains(self) -> int:
+        return self.n_transit * self.stub_domains_per_transit
+
+    @property
+    def n_stub(self) -> int:
+        return self.n_stub_domains * self.stub_nodes_per_domain
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_transit + self.n_stub
+
+
+def _connect_components(
+    n: int, adjacency: List[Set[int]], rng: np.random.Generator
+) -> None:
+    """Add random edges until the graph on ``n`` nodes is connected."""
+    seen = np.zeros(n, dtype=bool)
+    components: List[List[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = []
+        while stack:
+            u = stack.pop()
+            comp.append(u)
+            for v in adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        components.append(comp)
+    # Chain components together with one random edge each.
+    for prev, nxt in zip(components, components[1:]):
+        u = int(rng.choice(prev))
+        v = int(rng.choice(nxt))
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+
+def _random_graph(
+    n: int, p: float, rng: np.random.Generator
+) -> List[Set[int]]:
+    """Erdos-Renyi G(n, p) as adjacency sets, forced connected."""
+    adjacency: List[Set[int]] = [set() for _ in range(n)]
+    if n > 1 and p > 0:
+        iu, ju = np.triu_indices(n, k=1)
+        mask = rng.random(len(iu)) < p
+        for u, v in zip(iu[mask], ju[mask]):
+            adjacency[int(u)].add(int(v))
+            adjacency[int(v)].add(int(u))
+    _connect_components(n, adjacency, rng)
+    return adjacency
+
+
+@dataclass
+class StubDomain:
+    """A materialised stub domain: local graph, gateway and distances."""
+
+    domain_id: int
+    first_node: int  # global id of local index 0
+    gateway_local: int  # local index of the gateway stub node
+    hop_distances: np.ndarray  # (size, size) BFS hop counts
+
+    def distance_ms(self, local_u: int, local_v: int, hop_ms: float) -> float:
+        return float(self.hop_distances[local_u, local_v]) * hop_ms
+
+
+class TransitStubNetwork:
+    """The physical internet every experiment's latencies derive from."""
+
+    def __init__(self, params: TransitStubParams | None = None, seed: int = 0) -> None:
+        self.params = params or TransitStubParams()
+        self._streams = RandomStreams(seed=seed)
+        self._stub_cache: Dict[int, StubDomain] = {}
+        self._core_dist: np.ndarray | None = None
+        self._build_transit_core()
+
+    # -------------------------------------------------------------- topology
+    def _build_transit_core(self) -> None:
+        """Wire the transit nodes: intra-domain ER(0.6) + inter-domain links."""
+        p = self.params
+        rng = self._streams.get("transit-core")
+        edges: List[Tuple[int, int, float]] = []
+        # Intra-domain edges.
+        for dom in range(p.n_transit_domains):
+            base = dom * p.transit_nodes_per_domain
+            adjacency = _random_graph(p.transit_nodes_per_domain, p.p_transit_edge, rng)
+            for u, nbrs in enumerate(adjacency):
+                for v in nbrs:
+                    if u < v:
+                        edges.append((base + u, base + v, p.lat_intra_transit_ms))
+        # Inter-domain edges: the 9 domains form a complete graph at domain
+        # level; each domain pair is joined by one edge between random
+        # member transit nodes.
+        for da in range(p.n_transit_domains):
+            for db in range(da + 1, p.n_transit_domains):
+                u = da * p.transit_nodes_per_domain + int(
+                    rng.integers(p.transit_nodes_per_domain)
+                )
+                v = db * p.transit_nodes_per_domain + int(
+                    rng.integers(p.transit_nodes_per_domain)
+                )
+                edges.append((u, v, p.lat_inter_transit_ms))
+        self._transit_edges = edges
+
+    def transit_core_distances(self) -> np.ndarray:
+        """All-pairs shortest-path latencies (ms) over the transit core."""
+        if self._core_dist is None:
+            p = self.params
+            n = p.n_transit
+            if self._transit_edges:
+                us, vs, ws = zip(*self._transit_edges)
+            else:
+                us, vs, ws = (), (), ()
+            row = np.array(us + vs, dtype=np.int32)
+            col = np.array(vs + us, dtype=np.int32)
+            dat = np.array(ws + ws, dtype=np.float64)
+            graph = csr_matrix((dat, (row, col)), shape=(n, n))
+            self._core_dist = dijkstra(graph, directed=False)
+        return self._core_dist
+
+    # ----------------------------------------------------------- id helpers
+    @property
+    def n_nodes(self) -> int:
+        return self.params.n_nodes
+
+    def is_transit(self, node: int) -> bool:
+        self._check_node(node)
+        return node < self.params.n_transit
+
+    def stub_domain_of(self, node: int) -> int:
+        """Stub-domain id of a stub node (raises for transit nodes)."""
+        self._check_node(node)
+        if node < self.params.n_transit:
+            raise ValueError(f"node {node} is a transit node, not a stub node")
+        return (node - self.params.n_transit) // self.params.stub_nodes_per_domain
+
+    def local_index(self, node: int) -> int:
+        """Index of a stub node within its stub domain."""
+        if node < self.params.n_transit:
+            raise ValueError(f"node {node} is a transit node")
+        return (node - self.params.n_transit) % self.params.stub_nodes_per_domain
+
+    def transit_of_domain(self, domain_id: int) -> int:
+        """The transit node a stub domain hangs off."""
+        if not 0 <= domain_id < self.params.n_stub_domains:
+            raise ValueError(f"bad stub domain id {domain_id}")
+        return domain_id // self.params.stub_domains_per_transit
+
+    def transit_anchor(self, node: int) -> int:
+        """The transit node through which ``node`` reaches the core."""
+        if self.is_transit(node):
+            return node
+        return self.transit_of_domain(self.stub_domain_of(node))
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.params.n_nodes:
+            raise ValueError(f"physical node id {node} out of range")
+
+    # ------------------------------------------------------------ stub graphs
+    def stub_domain(self, domain_id: int) -> StubDomain:
+        """Materialise (and cache) a stub domain's graph and hop distances."""
+        cached = self._stub_cache.get(domain_id)
+        if cached is not None:
+            return cached
+        if not 0 <= domain_id < self.params.n_stub_domains:
+            raise ValueError(f"bad stub domain id {domain_id}")
+        p = self.params
+        rng = self._streams.get(f"stub-domain-{domain_id}")
+        size = p.stub_nodes_per_domain
+        adjacency = _random_graph(size, p.p_stub_edge, rng)
+        gateway = int(rng.integers(size))
+        hops = _bfs_all_pairs(size, adjacency)
+        domain = StubDomain(
+            domain_id=domain_id,
+            first_node=p.n_transit + domain_id * size,
+            gateway_local=gateway,
+            hop_distances=hops,
+        )
+        self._stub_cache[domain_id] = domain
+        return domain
+
+    def gateway_distance_ms(self, node: int) -> float:
+        """Latency from a stub node to its domain gateway (0 for the gateway)."""
+        domain = self.stub_domain(self.stub_domain_of(node))
+        local = self.local_index(node)
+        return domain.distance_ms(local, domain.gateway_local, self.params.lat_intra_stub_ms)
+
+    def intra_domain_distance_ms(self, u: int, v: int) -> float:
+        """Exact latency between two stub nodes of the same stub domain."""
+        du = self.stub_domain_of(u)
+        if du != self.stub_domain_of(v):
+            raise ValueError(f"nodes {u} and {v} are in different stub domains")
+        domain = self.stub_domain(du)
+        return domain.distance_ms(
+            self.local_index(u), self.local_index(v), self.params.lat_intra_stub_ms
+        )
+
+
+def _bfs_all_pairs(n: int, adjacency: List[Set[int]]) -> np.ndarray:
+    """All-pairs hop counts on a small unweighted graph (used per stub domain).
+
+    Delegates to scipy's C-level shortest-path kernel: registering a
+    10,000-node experiment touches ~1,000 stub domains, and per-domain
+    Python BFS dominated profiles.  Unreachable pairs map to INT32_MAX
+    (stub domains are forced connected, so this is belt and braces).
+    """
+    rows: List[int] = []
+    cols: List[int] = []
+    for u, nbrs in enumerate(adjacency):
+        for v in nbrs:
+            rows.append(u)
+            cols.append(v)
+    graph = csr_matrix(
+        (np.ones(len(rows), dtype=np.int8), (rows, cols)), shape=(n, n)
+    )
+    dist = shortest_path(graph, method="D", directed=False, unweighted=True)
+    hops = np.full((n, n), np.iinfo(np.int32).max, dtype=np.int32)
+    finite = np.isfinite(dist)
+    hops[finite] = dist[finite].astype(np.int32)
+    return hops

@@ -1,0 +1,31 @@
+"""Baseline query-based search algorithms (Section IV-A).
+
+The paper compares ASAP against three representative unstructured search
+schemes, all reimplemented here with the paper's parameters:
+
+* :mod:`repro.search.flooding` -- Gnutella-style flooding, TTL = 6;
+* :mod:`repro.search.random_walk` -- 5 walkers, TTL = 1024;
+* :mod:`repro.search.gsa` -- the generalized search algorithm of Gkantsidis
+  et al. (hybrid walk with one-hop lookahead), per-query budget 8,000.
+
+:mod:`repro.search.base` defines the shared algorithm interface, the
+message-size model, and :class:`SearchOutcome` -- the per-query record every
+figure's metrics aggregate over.
+"""
+
+from repro.search.base import MessageSizes, SearchAlgorithm, SearchOutcome
+from repro.search.expanding_ring import ExpandingRingSearch
+from repro.search.flooding import FloodingSearch, flood_reach
+from repro.search.gsa import GsaSearch
+from repro.search.random_walk import RandomWalkSearch
+
+__all__ = [
+    "ExpandingRingSearch",
+    "FloodingSearch",
+    "GsaSearch",
+    "MessageSizes",
+    "RandomWalkSearch",
+    "SearchAlgorithm",
+    "SearchOutcome",
+    "flood_reach",
+]

@@ -1,0 +1,163 @@
+"""Shared search-algorithm interface and the message-size model.
+
+Every algorithm (baselines and ASAP variants) implements
+:class:`SearchAlgorithm`: a ``search`` method returning a
+:class:`SearchOutcome` per query, plus churn/content hooks the trace runner
+invokes.  Bandwidth flows through the shared :class:`BandwidthLedger`; the
+per-search cost and the global load series both derive from it.
+
+The paper reports bandwidth but never tabulates message sizes, so
+:class:`MessageSizes` centralises our documented size model (DESIGN.md
+section 2) -- every byte the simulator accounts for is computed from these
+constants plus the Bloom-filter wire sizes.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.overlay import Overlay
+from repro.sim.metrics import BandwidthLedger, TrafficCategory
+from repro.workload.content import ContentIndex
+
+__all__ = ["MessageSizes", "SearchAlgorithm", "SearchOutcome"]
+
+
+@dataclass(frozen=True)
+class MessageSizes:
+    """Bytes per message type (DESIGN.md section 2)."""
+
+    query: int = 100  # Gnutella-style header + search terms
+    query_response: int = 80
+    confirmation_request: int = 80
+    confirmation_reply: int = 80
+    ads_request: int = 60
+    ad_header: int = 24  # identity + topics + version + type
+
+    def __post_init__(self) -> None:
+        for name in (
+            "query",
+            "query_response",
+            "confirmation_request",
+            "confirmation_reply",
+            "ads_request",
+            "ad_header",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"message size {name} must be positive")
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """What one search request cost and returned.
+
+    ``response_time_ms`` is meaningful only when ``success`` is true (the
+    paper averages response time over successful requests only).
+    ``cost_bytes``/``messages`` cover the search process itself: query
+    traffic for baselines; confirmation + ads-request traffic for ASAP
+    (Figure 6's accounting).
+    """
+
+    success: bool
+    response_time_ms: float
+    messages: int
+    cost_bytes: float
+    results: int  # distinct nodes confirmed/responding with a match
+    local_hit: bool = False  # resolved from the requester's own shared docs
+
+    def __post_init__(self) -> None:
+        if self.success and not math.isfinite(self.response_time_ms):
+            raise ValueError("successful search needs a finite response time")
+        if self.messages < 0 or self.cost_bytes < 0 or self.results < 0:
+            raise ValueError("negative search cost")
+
+
+class SearchAlgorithm(abc.ABC):
+    """Base class: shared state, ledger plumbing and default hooks."""
+
+    #: Human-readable name used in result tables (overridden per class).
+    name: str = "base"
+
+    #: Ledger categories that count toward this algorithm's system load.
+    load_categories: frozenset = frozenset(
+        {TrafficCategory.QUERY, TrafficCategory.QUERY_RESPONSE}
+    )
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        content: ContentIndex,
+        ledger: BandwidthLedger,
+        sizes: MessageSizes | None = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.overlay = overlay
+        self.content = content
+        self.ledger = ledger
+        self.sizes = sizes or MessageSizes()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    # ------------------------------------------------------------ interface
+    @abc.abstractmethod
+    def search(
+        self, requester: int, terms: Sequence[str], now: float
+    ) -> SearchOutcome:
+        """Execute one search request issued at simulation time ``now``."""
+
+    def warmup(self, engine, start: float, duration: float) -> None:
+        """Pre-trace preparation (ASAP's initial ad dissemination).
+
+        Baselines need none; the default is a no-op.
+        """
+
+    def on_join(self, node: int, now: float) -> None:
+        """Called after ``node`` came online (overlay already updated)."""
+
+    def on_leave(self, node: int, now: float) -> None:
+        """Called after ``node`` went offline (overlay already updated)."""
+
+    def on_content_change(self, node: int, doc, added: bool, now: float) -> None:
+        """Called after the content index applied a document add/remove."""
+
+    # -------------------------------------------------------------- helpers
+    def _matching_live_nodes(
+        self, terms: Sequence[str], exclude: Optional[int] = None
+    ) -> set:
+        """Live nodes holding a document that matches all ``terms``."""
+        live = self.overlay.live_mask
+        return {
+            n
+            for n in self.content.nodes_matching(terms)
+            if live[n] and n != exclude
+        }
+
+    def _local_hit(self, requester: int, terms: Sequence[str]) -> bool:
+        """Does the requester already share a matching document?"""
+        return self.content.node_matches(requester, terms)
+
+    @staticmethod
+    def _local_outcome() -> SearchOutcome:
+        """A request satisfied from the requester's own shared content."""
+        return SearchOutcome(
+            success=True,
+            response_time_ms=0.0,
+            messages=0,
+            cost_bytes=0.0,
+            results=1,
+            local_hit=True,
+        )
+
+    @staticmethod
+    def _failure(messages: int, cost_bytes: float) -> SearchOutcome:
+        return SearchOutcome(
+            success=False,
+            response_time_ms=math.inf,
+            messages=messages,
+            cost_bytes=cost_bytes,
+            results=0,
+        )

@@ -1,0 +1,32 @@
+"""Simulation substrate: discrete-event engine, deterministic RNG, metrics.
+
+This subpackage is self-contained (no SimPy dependency) and provides the
+control plane every experiment in the reproduction runs on:
+
+* :mod:`repro.sim.engine` -- a heap-based discrete-event simulation kernel
+  with absolute/relative scheduling, cancellable events, periodic timers and
+  process callbacks.
+* :mod:`repro.sim.random` -- named, seeded random substreams so that every
+  stochastic component of an experiment is independently reproducible.
+* :mod:`repro.sim.metrics` -- bandwidth accounting by traffic category,
+  per-second load time series and summary statistics, mirroring how the
+  paper measures "system load" (bytes per live node per second).
+"""
+
+from repro.sim.engine import Event, PeriodicTimer, SimulationEngine
+from repro.sim.process import ProcessHandle, spawn
+from repro.sim.metrics import BandwidthLedger, Counter, LoadSeries, TrafficCategory
+from repro.sim.random import RandomStreams
+
+__all__ = [
+    "BandwidthLedger",
+    "Counter",
+    "Event",
+    "LoadSeries",
+    "PeriodicTimer",
+    "ProcessHandle",
+    "RandomStreams",
+    "SimulationEngine",
+    "spawn",
+    "TrafficCategory",
+]

@@ -1,0 +1,114 @@
+"""Coroutine processes for the discrete-event kernel (SimPy-style).
+
+The trace runner schedules plain callbacks, but protocol experiments often
+read more naturally as processes: a generator that ``yield``s delays (in
+seconds) and resumes when the clock reaches them.  :func:`spawn` runs any
+generator as such a process on a :class:`SimulationEngine`:
+
+    def refresher(engine, node):
+        while True:
+            yield 600.0              # sleep ten minutes
+            issue_refresh(node, engine.now)
+
+    handle = spawn(engine, refresher(engine, 7))
+    ...
+    handle.interrupt()               # stop it
+
+A process may also yield another :class:`ProcessHandle` to join it (resume
+when that process finishes).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Union
+
+from repro.sim.engine import Event, SimulationEngine, SimulationError
+
+__all__ = ["ProcessHandle", "spawn"]
+
+Yieldable = Union[float, int, "ProcessHandle"]
+
+
+class ProcessHandle:
+    """A running (or finished) coroutine process."""
+
+    def __init__(self, engine: SimulationEngine, gen: Generator, name: str) -> None:
+        self._engine = engine
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self.interrupted = False
+        self.value = None  # StopIteration value, if any
+        self._pending: Optional[Event] = None
+        self._joiners: list = []
+
+    # ---------------------------------------------------------------- state
+    @property
+    def alive(self) -> bool:
+        return not self.finished
+
+    def interrupt(self) -> None:
+        """Stop the process; its pending wakeup is cancelled."""
+        if self.finished:
+            return
+        self.interrupted = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._gen.close()
+        self._finish()
+
+    def join(self, callback) -> None:
+        """Invoke ``callback`` when the process finishes (or immediately)."""
+        if self.finished:
+            callback()
+        else:
+            self._joiners.append(callback)
+
+    # ------------------------------------------------------------- stepping
+    def _step(self) -> None:
+        self._pending = None
+        try:
+            item = next(self._gen)
+        except StopIteration as stop:
+            self.value = stop.value
+            self._finish()
+            return
+        self._wait_on(item)
+
+    def _wait_on(self, item: Yieldable) -> None:
+        if isinstance(item, ProcessHandle):
+            item.join(self._step)
+            return
+        try:
+            delay = float(item)
+        except (TypeError, ValueError):
+            raise SimulationError(
+                f"process {self.name!r} yielded {item!r}; yield a delay in "
+                "seconds or a ProcessHandle"
+            ) from None
+        if delay < 0:
+            raise SimulationError(f"process {self.name!r} yielded negative delay")
+        self._pending = self._engine.schedule_after(
+            delay, self._step, name=f"process:{self.name}"
+        )
+
+    def _finish(self) -> None:
+        self.finished = True
+        joiners, self._joiners = self._joiners, []
+        for callback in joiners:
+            callback()
+
+
+def spawn(
+    engine: SimulationEngine,
+    gen: Generator,
+    name: str = "process",
+    delay: float = 0.0,
+) -> ProcessHandle:
+    """Run ``gen`` as a process; its first step executes after ``delay``."""
+    if not hasattr(gen, "__next__"):
+        raise SimulationError("spawn() needs a generator (call the function)")
+    handle = ProcessHandle(engine, gen, name)
+    handle._pending = engine.schedule_after(delay, handle._step, name=f"spawn:{name}")
+    return handle

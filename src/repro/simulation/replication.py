@@ -1,0 +1,113 @@
+"""Multi-seed replication: mean and spread of every reported metric.
+
+Single-seed numbers from a stochastic simulator are anecdotes; the paper
+reports single runs (common in 2007), but a reproduction should expose the
+seed-to-seed spread.  :func:`run_replications` executes the same
+configuration under independent seeds and aggregates each
+:class:`~repro.simulation.results.RunSummary` field into mean, standard
+deviation and extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.simulation.config import RunConfig
+from repro.simulation.results import RunSummary
+from repro.simulation.runner import run_experiment
+
+__all__ = ["MetricSpread", "ReplicatedSummary", "run_replications"]
+
+#: RunSummary fields that are aggregated numerically.
+_NUMERIC_FIELDS = (
+    "success_rate",
+    "avg_response_time_ms",
+    "avg_cost_bytes",
+    "avg_messages",
+    "load_mean_bpns",
+    "load_std_bpns",
+    "load_peak_bpns",
+)
+
+
+@dataclass(frozen=True)
+class MetricSpread:
+    """Mean and spread of one metric across replications."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    n: int
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "MetricSpread":
+        arr = np.asarray([v for v in values if np.isfinite(v)], dtype=np.float64)
+        if len(arr) == 0:
+            return MetricSpread(
+                mean=float("nan"), std=float("nan"),
+                min=float("nan"), max=float("nan"), n=0,
+            )
+        return MetricSpread(
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+            min=float(arr.min()),
+            max=float(arr.max()),
+            n=len(arr),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} ± {self.std:.2g} (n={self.n})"
+
+
+@dataclass
+class ReplicatedSummary:
+    """Aggregated summaries of one configuration across seeds."""
+
+    algorithm: str
+    topology: str
+    seeds: List[int]
+    metrics: Dict[str, MetricSpread]
+    summaries: List[RunSummary]
+
+    def __getitem__(self, metric: str) -> MetricSpread:
+        return self.metrics[metric]
+
+    def format_table(self) -> str:
+        lines = [
+            f"{self.algorithm} on {self.topology} "
+            f"({len(self.seeds)} replications, seeds {self.seeds})"
+        ]
+        width = max(len(m) for m in self.metrics) + 2
+        for name, spread in self.metrics.items():
+            lines.append(f"  {name:<{width}} {spread}")
+        return "\n".join(lines)
+
+
+def run_replications(config: RunConfig, n_seeds: int = 5) -> ReplicatedSummary:
+    """Run ``config`` under ``n_seeds`` independent seeds and aggregate.
+
+    Seeds are ``config.seed, config.seed + 1, ...`` -- deterministic, so a
+    replicated result is itself reproducible.
+    """
+    if n_seeds < 1:
+        raise ValueError("need at least one replication")
+    seeds = [config.seed + i for i in range(n_seeds)]
+    summaries: List[RunSummary] = []
+    for seed in seeds:
+        result = run_experiment(replace(config, seed=seed))
+        summaries.append(result.summarize())
+    metrics = {
+        name: MetricSpread.of([getattr(s, name) for s in summaries])
+        for name in _NUMERIC_FIELDS
+    }
+    return ReplicatedSummary(
+        algorithm=summaries[0].algorithm,
+        topology=config.topology,
+        seeds=seeds,
+        metrics=metrics,
+        summaries=summaries,
+    )

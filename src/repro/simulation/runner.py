@@ -1,0 +1,204 @@
+"""Builds the full stack for one run and replays the trace through it.
+
+Pipeline (Section IV-B step 6: "feed it into each testing system, replaying
+the queries and collect the results"):
+
+1. build the GT-ITM physical network and latency model (once per run);
+2. build the logical overlay (random / powerlaw / crawled) over it;
+3. synthesise the eDonkey-like content distribution and the query trace;
+4. instantiate the algorithm under test;
+5. schedule ASAP's warm-up (initial ad dissemination) in ``[0, warmup_s)``,
+   then every trace event at ``warmup_s + event.time``, and run the engine;
+6. collect per-query outcomes and the bandwidth ledger into a RunResult
+   whose measurement window is the trace interval (warm-up excluded, as the
+   paper measures the warmed-up system).
+
+Determinism: all randomness flows from ``config.seed`` through named
+substreams, so a config reproduces its results exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.asap.protocol import AsapParams, AsapSearch
+from repro.network.latency import LatencyModel
+from repro.network.overlay import Overlay
+from repro.network.topology import build_topology
+from repro.network.transit_stub import TransitStubNetwork
+from repro.search.base import SearchAlgorithm, SearchOutcome
+from repro.search.flooding import FloodingSearch
+from repro.search.gsa import GsaSearch
+from repro.search.random_walk import RandomWalkSearch
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import BandwidthLedger, LiveCountTracker
+from repro.sim.random import RandomStreams
+from repro.simulation.config import RunConfig
+from repro.simulation.results import RunResult
+from repro.workload.edonkey import synthesize_content
+from repro.workload.generator import generate_trace
+from repro.workload.trace import (
+    ContentChangeEvent,
+    JoinEvent,
+    LeaveEvent,
+    QueryEvent,
+)
+
+__all__ = ["run_experiment", "build_algorithm"]
+
+
+def build_algorithm(
+    config: RunConfig,
+    overlay: Overlay,
+    content,
+    ledger: BandwidthLedger,
+    rng: np.random.Generator,
+    interests: Optional[List[set]] = None,
+) -> SearchAlgorithm:
+    """Instantiate the algorithm named by ``config.algorithm``."""
+    if config.algorithm == "flooding":
+        return FloodingSearch(
+            overlay, content, ledger, config.sizes, rng, ttl=config.flood_ttl
+        )
+    if config.algorithm == "random_walk":
+        return RandomWalkSearch(
+            overlay,
+            content,
+            ledger,
+            config.sizes,
+            rng,
+            walkers=config.rw_walkers,
+            ttl=config.rw_ttl,
+        )
+    if config.algorithm == "expanding_ring":
+        from repro.search.expanding_ring import ExpandingRingSearch
+
+        return ExpandingRingSearch(overlay, content, ledger, config.sizes, rng)
+    if config.algorithm == "gsa":
+        return GsaSearch(
+            overlay,
+            content,
+            ledger,
+            config.sizes,
+            rng,
+            budget=config.gsa_budget,
+            walkers=config.rw_walkers,
+        )
+    # ASAP variants (flat or hierarchical).
+    params = replace(config.asap, forwarder=config.asap_forwarder)
+    if config.is_superpeer:
+        from repro.asap.superpeer import SuperPeerAsapSearch
+
+        return SuperPeerAsapSearch(
+            overlay,
+            content,
+            ledger,
+            config.sizes,
+            rng,
+            interests=interests,
+            params=params,
+        )
+    return AsapSearch(
+        overlay,
+        content,
+        ledger,
+        config.sizes,
+        rng,
+        interests=interests,
+        params=params,
+    )
+
+
+def run_experiment(config: RunConfig) -> RunResult:
+    """Execute one full trace replay and return its results."""
+    streams = RandomStreams(seed=config.seed)
+
+    # --- substrate -------------------------------------------------------
+    network = latency = None
+    if config.use_physical_network:
+        network = TransitStubNetwork(seed=config.seed)
+        latency = LatencyModel(network)
+    topology = build_topology(
+        config.topology, config.n_peers, rng=streams.get("topology"), network=network
+    )
+    overlay = Overlay(topology, latency)
+
+    # --- workload ---------------------------------------------------------
+    dist = synthesize_content(config.edonkey, streams.get("content"))
+    trace = generate_trace(dist, config.trace, streams.get("trace"))
+    content = dist.index
+
+    # --- algorithm ---------------------------------------------------------
+    ledger = BandwidthLedger()
+    algorithm = build_algorithm(
+        config, overlay, content, ledger, streams.get("algorithm"), dist.interests
+    )
+
+    # --- replay ------------------------------------------------------------
+    engine = SimulationEngine()
+    if config.model_keepalives:
+        from repro.network.keepalive import KeepaliveTraffic
+
+        KeepaliveTraffic(
+            engine, overlay, ledger, period_s=config.keepalive_period_s
+        )
+    algorithm.warmup(engine, start=0.0, duration=config.warmup_s)
+
+    downloads = None
+    if config.model_downloads:
+        from repro.workload.downloads import DownloadModel
+
+        downloads = DownloadModel(ledger, streams.get("downloads"))
+
+    outcomes: List[SearchOutcome] = []
+    live_tracker = LiveCountTracker(initial=overlay.live_count())
+
+    def handle(event) -> None:
+        now = engine.now
+        if isinstance(event, QueryEvent):
+            outcome = algorithm.search(event.node, event.terms, now)
+            outcomes.append(outcome)
+            if downloads is not None and outcome.success:
+                downloads.on_search_success(now)
+        elif isinstance(event, ContentChangeEvent):
+            doc = content.document(event.doc_id)
+            if event.added:
+                content.place(event.node, event.doc_id, notify=False)
+            else:
+                content.remove(event.node, event.doc_id, notify=False)
+            algorithm.on_content_change(event.node, doc, event.added, now)
+        elif isinstance(event, JoinEvent):
+            overlay.join(event.node)
+            live_tracker.record_change(now, +1)
+            algorithm.on_join(event.node, now)
+        elif isinstance(event, LeaveEvent):
+            overlay.leave(event.node)
+            live_tracker.record_change(now, -1)
+            algorithm.on_leave(event.node, now)
+        else:  # pragma: no cover - trace types are closed
+            raise TypeError(f"unknown trace event {type(event).__name__}")
+
+    for event in trace.events:
+        engine.schedule_at(
+            config.warmup_s + event.time, lambda e=event: handle(e), name="trace"
+        )
+    engine.run(until=config.warmup_s + trace.duration + 1.0)
+
+    # --- collect ------------------------------------------------------------
+    t_start = int(config.warmup_s)
+    t_end = int(np.ceil(config.warmup_s + trace.duration)) + 1
+    live_counts = live_tracker.counts(t_start, t_end)
+    return RunResult(
+        algorithm=algorithm.name,
+        topology=config.topology,
+        n_peers=config.n_peers,
+        outcomes=outcomes,
+        ledger=ledger,
+        load_categories=algorithm.load_categories,
+        live_counts=live_counts,
+        t_start=t_start,
+        t_end=t_end,
+    )

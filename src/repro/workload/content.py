@@ -1,0 +1,180 @@
+"""Documents, keywords and the mutable global content index.
+
+A :class:`Document` is an immutable description: a semantic class and a
+small keyword set (a distinctive title token plus a few class-vocabulary
+tokens, mirroring how file names are tokenised into search terms).
+
+The :class:`ContentIndex` is the simulator's ground truth of "who holds
+what": per-node document sets, per-document holder sets, and an inverted
+keyword index.  Baseline search algorithms consult it to decide whether a
+visited node satisfies a query; ASAP's content-confirmation step consults it
+to validate Bloom-filter hits; the trace generator consults it to guarantee
+that every query has a live matching holder.
+
+Content-change notifications (needed by ASAP to trigger patch ads) are
+delivered through a simple listener list -- the simulation runner registers
+the active algorithm as a listener.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["ContentIndex", "Document"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """An immutable shared document."""
+
+    doc_id: int
+    class_id: int
+    keywords: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise ValueError("a document needs at least one keyword")
+        if self.class_id < 0:
+            raise ValueError("negative class id")
+
+
+#: Listener signature: (node, document, added: bool) -> None.
+ContentListener = Callable[[int, Document, bool], None]
+
+
+class ContentIndex:
+    """Mutable "who holds what" index with an inverted keyword index."""
+
+    def __init__(self) -> None:
+        self._documents: Dict[int, Document] = {}
+        self._holders: Dict[int, Set[int]] = {}
+        self._node_docs: Dict[int, Set[int]] = {}
+        self._kw_docs: Dict[str, Set[int]] = {}
+        self._listeners: List[ContentListener] = []
+
+    # ------------------------------------------------------------- documents
+    def register_document(self, doc: Document) -> None:
+        """Register document metadata (does not place it on any node)."""
+        if doc.doc_id in self._documents:
+            raise ValueError(f"document {doc.doc_id} already registered")
+        self._documents[doc.doc_id] = doc
+        self._holders[doc.doc_id] = set()
+        for kw in doc.keywords:
+            self._kw_docs.setdefault(kw, set()).add(doc.doc_id)
+
+    def document(self, doc_id: int) -> Document:
+        return self._documents[doc_id]
+
+    @property
+    def n_documents(self) -> int:
+        return len(self._documents)
+
+    def all_documents(self) -> Iterable[Document]:
+        return self._documents.values()
+
+    # ------------------------------------------------------------ placement
+    def place(self, node: int, doc_id: int, notify: bool = True) -> None:
+        """Node starts sharing a copy of ``doc_id``."""
+        doc = self._documents.get(doc_id)
+        if doc is None:
+            raise KeyError(f"unknown document {doc_id}")
+        holders = self._holders[doc_id]
+        if node in holders:
+            raise ValueError(f"node {node} already holds document {doc_id}")
+        holders.add(node)
+        self._node_docs.setdefault(node, set()).add(doc_id)
+        if notify:
+            for listener in self._listeners:
+                listener(node, doc, True)
+
+    def remove(self, node: int, doc_id: int, notify: bool = True) -> None:
+        """Node stops sharing its copy of ``doc_id``."""
+        doc = self._documents.get(doc_id)
+        if doc is None:
+            raise KeyError(f"unknown document {doc_id}")
+        holders = self._holders[doc_id]
+        if node not in holders:
+            raise ValueError(f"node {node} does not hold document {doc_id}")
+        holders.discard(node)
+        self._node_docs[node].discard(doc_id)
+        if notify:
+            for listener in self._listeners:
+                listener(node, doc, False)
+
+    def add_listener(self, listener: ContentListener) -> None:
+        self._listeners.append(listener)
+
+    # --------------------------------------------------------------- queries
+    def holders(self, doc_id: int) -> FrozenSet[int]:
+        return frozenset(self._holders.get(doc_id, ()))
+
+    def docs_on(self, node: int) -> FrozenSet[int]:
+        return frozenset(self._node_docs.get(node, ()))
+
+    def replica_count(self, doc_id: int) -> int:
+        return len(self._holders.get(doc_id, ()))
+
+    def docs_matching(self, terms: Iterable[str]) -> Set[int]:
+        """Documents containing ALL ``terms`` (the paper's match semantics)."""
+        term_list = list(terms)
+        if not term_list:
+            return set()
+        sets = [self._kw_docs.get(t, set()) for t in term_list]
+        smallest = min(sets, key=len)
+        result = set(smallest)
+        for s in sets:
+            if s is not smallest:
+                result &= s
+            if not result:
+                break
+        return result
+
+    def nodes_matching(self, terms: Iterable[str]) -> Set[int]:
+        """Nodes holding at least one document that matches all ``terms``."""
+        result: Set[int] = set()
+        for doc_id in self.docs_matching(terms):
+            result |= self._holders[doc_id]
+        return result
+
+    def node_matches(self, node: int, terms: Iterable[str]) -> bool:
+        """Does ``node`` hold a single document containing all ``terms``?
+
+        This is the content-confirmation check: Bloom-filter hits where a
+        node holds every term but across *different* documents must fail it
+        (Section III-C's motivating example).
+        """
+        docs = self._node_docs.get(node)
+        if not docs:
+            return False
+        matching = self.docs_matching(terms)
+        return bool(matching & docs)
+
+    def node_keywords(self, node: int) -> Counter:
+        """Keyword multiset of all documents shared by ``node`` (K_p)."""
+        counts: Counter = Counter()
+        for doc_id in self._node_docs.get(node, ()):
+            counts.update(self._documents[doc_id].keywords)
+        return counts
+
+    def node_classes(self, node: int) -> Set[int]:
+        """Semantic classes represented in a node's shared content."""
+        return {
+            self._documents[d].class_id for d in self._node_docs.get(node, ())
+        }
+
+    # ----------------------------------------------------------- statistics
+    def mean_replica_count(self) -> float:
+        """Average number of copies per document (paper reports 1.28)."""
+        if not self._holders:
+            return 0.0
+        placed = [len(h) for h in self._holders.values() if h]
+        return float(sum(placed) / len(placed)) if placed else 0.0
+
+    def single_copy_fraction(self) -> float:
+        """Fraction of placed documents with exactly one copy (paper: 89%)."""
+        placed = [len(h) for h in self._holders.values() if h]
+        if not placed:
+            return 0.0
+        return sum(1 for c in placed if c == 1) / len(placed)

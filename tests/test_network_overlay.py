@@ -1,0 +1,132 @@
+"""Tests for the churn-aware overlay runtime."""
+
+import numpy as np
+import pytest
+
+from repro.network.overlay import Overlay
+from repro.network.topology import OverlayTopology, random_topology
+
+
+def make_path_overlay(n=4, **kwargs):
+    """A simple path topology 0-1-2-...-(n-1)."""
+    edges = np.array([[i, i + 1] for i in range(n - 1)], dtype=np.int64)
+    topo = OverlayTopology(name="path", n=n, edges=edges, physical_ids=np.arange(n))
+    return Overlay(topo, **kwargs)
+
+
+class TestLiveness:
+    def test_all_live_by_default(self):
+        ov = make_path_overlay()
+        assert ov.live_count() == 4
+        assert ov.is_live(0)
+
+    def test_initial_mask(self):
+        ov = make_path_overlay(initially_live=np.array([True, False, True, True]))
+        assert ov.live_count() == 3
+        assert not ov.is_live(1)
+
+    def test_initial_index_array(self):
+        ov = make_path_overlay(initially_live=np.array([0, 2]))
+        assert ov.live_count() == 2
+        assert list(ov.live_nodes()) == [0, 2]
+
+    def test_join_leave_cycle(self):
+        ov = make_path_overlay()
+        ov.leave(1)
+        assert not ov.is_live(1)
+        ov.join(1)
+        assert ov.is_live(1)
+
+    def test_double_leave_rejected(self):
+        ov = make_path_overlay()
+        ov.leave(1)
+        with pytest.raises(ValueError):
+            ov.leave(1)
+
+    def test_double_join_rejected(self):
+        ov = make_path_overlay()
+        with pytest.raises(ValueError):
+            ov.join(0)
+
+    def test_epoch_bumps_on_churn(self):
+        ov = make_path_overlay()
+        e0 = ov.epoch
+        ov.leave(2)
+        assert ov.epoch == e0 + 1
+        ov.join(2)
+        assert ov.epoch == e0 + 2
+
+
+class TestEdgeViews:
+    def test_live_edges_both_directions(self):
+        ov = make_path_overlay(n=3)
+        src, dst, lat = ov.live_edges()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1)}
+        assert len(lat) == 4
+
+    def test_live_edges_exclude_dead_endpoint(self):
+        ov = make_path_overlay(n=3)
+        ov.leave(1)
+        src, dst, _ = ov.live_edges()
+        assert len(src) == 0 and len(dst) == 0
+
+    def test_live_edges_cached_within_epoch(self):
+        ov = make_path_overlay()
+        a = ov.live_edges()
+        b = ov.live_edges()
+        assert a[0] is b[0]  # same arrays back (cache hit)
+        ov.leave(3)
+        c = ov.live_edges()
+        assert c[0] is not a[0]
+
+    def test_live_neighbors_filters(self):
+        ov = make_path_overlay(n=4)
+        ov.leave(2)
+        nbrs, lats = ov.live_neighbors(1)
+        assert list(nbrs) == [0]
+        assert len(lats) == 1
+
+    def test_live_degree(self):
+        ov = make_path_overlay(n=4)
+        assert ov.live_degree(1) == 2
+        ov.leave(0)
+        assert ov.live_degree(1) == 1
+
+    def test_neighbors_ignores_liveness(self):
+        ov = make_path_overlay(n=4)
+        ov.leave(0)
+        assert list(ov.neighbors(1)) == [0, 2]
+
+    def test_default_edge_latency(self):
+        ov = make_path_overlay(default_edge_latency_ms=7.0)
+        _, _, lat = ov.live_edges()
+        assert np.all(lat == 7.0)
+
+
+class TestWithRandomTopology:
+    def test_live_edge_count_shrinks_under_churn(self):
+        topo = random_topology(200, avg_degree=5.0, rng=np.random.default_rng(0))
+        ov = Overlay(topo)
+        full = len(ov.live_edges()[0])
+        rng = np.random.default_rng(1)
+        for node in rng.choice(200, size=50, replace=False):
+            ov.leave(int(node))
+        reduced = len(ov.live_edges()[0])
+        assert reduced < full
+
+    def test_adjacency_latency_alignment(self):
+        topo = random_topology(50, avg_degree=4.0, rng=np.random.default_rng(2))
+        ov = Overlay(topo, default_edge_latency_ms=3.0)
+        for u in range(50):
+            nbrs, lats = ov.live_neighbors(u)
+            assert len(nbrs) == len(lats)
+            assert np.all(lats == 3.0)
+
+    def test_direct_latency_without_model_is_flat(self):
+        topo = random_topology(20, avg_degree=3.0, rng=np.random.default_rng(3))
+        ov = Overlay(topo, default_edge_latency_ms=9.0)
+        assert ov.direct_latency_ms(0, 0) == 0.0
+        assert ov.direct_latency_ms(0, 5) == 9.0
+        out = ov.direct_latencies_ms(0, np.array([0, 3, 7]))
+        assert list(out) == [0.0, 9.0, 9.0]

@@ -1,0 +1,211 @@
+"""Tests for the GT-ITM transit-stub physical network model."""
+
+import numpy as np
+import pytest
+
+from repro.network.transit_stub import (
+    StubDomain,
+    TransitStubNetwork,
+    TransitStubParams,
+    _bfs_all_pairs,
+    _random_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def small_net():
+    """A scaled-down network so tests stay fast: 3x4 transit, 2x5 stubs."""
+    params = TransitStubParams(
+        n_transit_domains=3,
+        transit_nodes_per_domain=4,
+        stub_domains_per_transit=2,
+        stub_nodes_per_domain=5,
+    )
+    return TransitStubNetwork(params, seed=1)
+
+
+@pytest.fixture(scope="module")
+def paper_net():
+    """The paper-scale network (construction is lazy, so this is cheap)."""
+    return TransitStubNetwork(seed=0)
+
+
+class TestParams:
+    def test_paper_defaults_give_51984_nodes(self):
+        p = TransitStubParams()
+        assert p.n_transit == 144
+        assert p.n_stub_domains == 1296
+        assert p.n_stub == 51840
+        assert p.n_nodes == 51984
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            TransitStubParams(n_transit_domains=0)
+        with pytest.raises(ValueError):
+            TransitStubParams(p_stub_edge=1.5)
+        with pytest.raises(ValueError):
+            TransitStubParams(stub_nodes_per_domain=0)
+
+
+class TestIdScheme:
+    def test_transit_detection(self, small_net):
+        p = small_net.params
+        assert small_net.is_transit(0)
+        assert small_net.is_transit(p.n_transit - 1)
+        assert not small_net.is_transit(p.n_transit)
+
+    def test_stub_domain_of(self, small_net):
+        p = small_net.params
+        first_stub = p.n_transit
+        assert small_net.stub_domain_of(first_stub) == 0
+        assert small_net.stub_domain_of(first_stub + p.stub_nodes_per_domain) == 1
+        last = p.n_nodes - 1
+        assert small_net.stub_domain_of(last) == p.n_stub_domains - 1
+
+    def test_stub_domain_of_transit_raises(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.stub_domain_of(0)
+
+    def test_transit_anchor_of_transit_is_itself(self, small_net):
+        assert small_net.transit_anchor(3) == 3
+
+    def test_transit_anchor_of_stub(self, small_net):
+        p = small_net.params
+        # stub domain 0 and 1 hang off transit node 0; domains 2,3 off node 1.
+        node_in_domain_2 = p.n_transit + 2 * p.stub_nodes_per_domain
+        assert small_net.transit_anchor(node_in_domain_2) == 1
+
+    def test_out_of_range_rejected(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.is_transit(small_net.n_nodes)
+        with pytest.raises(ValueError):
+            small_net.is_transit(-1)
+
+
+class TestTransitCore:
+    def test_distances_symmetric_finite(self, small_net):
+        dist = small_net.transit_core_distances()
+        n = small_net.params.n_transit
+        assert dist.shape == (n, n)
+        assert np.all(np.isfinite(dist))  # core must be connected
+        assert np.allclose(dist, dist.T)
+        assert np.all(np.diag(dist) == 0)
+
+    def test_triangle_inequality_sampled(self, small_net):
+        dist = small_net.transit_core_distances()
+        n = dist.shape[0]
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            i, j, k = rng.integers(0, n, size=3)
+            assert dist[i, j] <= dist[i, k] + dist[k, j] + 1e-9
+
+    def test_intra_domain_cheaper_than_inter(self, small_net):
+        dist = small_net.transit_core_distances()
+        p = small_net.params
+        intra = dist[0, 1 : p.transit_nodes_per_domain]
+        inter = dist[0, p.transit_nodes_per_domain :]
+        # Crossing domains costs at least one 50ms link.
+        assert inter.min() >= p.lat_inter_transit_ms
+        assert intra.max() < inter.min() + p.lat_intra_transit_ms * p.transit_nodes_per_domain
+
+    def test_paper_scale_core(self, paper_net):
+        dist = paper_net.transit_core_distances()
+        assert dist.shape == (144, 144)
+        assert np.all(np.isfinite(dist))
+
+
+class TestStubDomains:
+    def test_domain_is_cached(self, small_net):
+        assert small_net.stub_domain(0) is small_net.stub_domain(0)
+
+    def test_hop_distances_connected(self, small_net):
+        domain = small_net.stub_domain(0)
+        assert np.all(domain.hop_distances < np.iinfo(np.int32).max)
+        assert np.all(np.diag(domain.hop_distances) == 0)
+
+    def test_gateway_distance_zero_for_gateway(self, small_net):
+        domain = small_net.stub_domain(0)
+        gw_global = domain.first_node + domain.gateway_local
+        assert small_net.gateway_distance_ms(gw_global) == 0.0
+
+    def test_gateway_distance_positive_for_others(self, small_net):
+        domain = small_net.stub_domain(0)
+        p = small_net.params
+        for j in range(p.stub_nodes_per_domain):
+            node = domain.first_node + j
+            d = small_net.gateway_distance_ms(node)
+            if j == domain.gateway_local:
+                assert d == 0.0
+            else:
+                assert d >= p.lat_intra_stub_ms
+
+    def test_intra_domain_distance_symmetric(self, small_net):
+        p = small_net.params
+        a = p.n_transit
+        b = p.n_transit + 3
+        assert small_net.intra_domain_distance_ms(a, b) == small_net.intra_domain_distance_ms(b, a)
+
+    def test_intra_domain_cross_domain_raises(self, small_net):
+        p = small_net.params
+        a = p.n_transit
+        b = p.n_transit + p.stub_nodes_per_domain  # next domain
+        with pytest.raises(ValueError):
+            small_net.intra_domain_distance_ms(a, b)
+
+    def test_determinism_independent_of_access_order(self):
+        params = TransitStubParams(
+            n_transit_domains=2,
+            transit_nodes_per_domain=3,
+            stub_domains_per_transit=2,
+            stub_nodes_per_domain=6,
+        )
+        net1 = TransitStubNetwork(params, seed=7)
+        net2 = TransitStubNetwork(params, seed=7)
+        # Touch domains in different orders.
+        net1.stub_domain(0)
+        d1_3 = net1.stub_domain(3)
+        d2_3 = net2.stub_domain(3)  # touched first here
+        assert d1_3.gateway_local == d2_3.gateway_local
+        assert np.array_equal(d1_3.hop_distances, d2_3.hop_distances)
+
+    def test_different_seeds_differ(self):
+        params = TransitStubParams(
+            n_transit_domains=2,
+            transit_nodes_per_domain=3,
+            stub_domains_per_transit=2,
+            stub_nodes_per_domain=10,
+        )
+        a = TransitStubNetwork(params, seed=1).stub_domain(0)
+        b = TransitStubNetwork(params, seed=2).stub_domain(0)
+        assert (
+            a.gateway_local != b.gateway_local
+            or not np.array_equal(a.hop_distances, b.hop_distances)
+        )
+
+    def test_bad_domain_id(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.stub_domain(small_net.params.n_stub_domains)
+
+
+class TestGraphHelpers:
+    def test_random_graph_connected(self):
+        rng = np.random.default_rng(0)
+        for p in (0.0, 0.05, 0.4):
+            adj = _random_graph(30, p, rng)
+            hops = _bfs_all_pairs(30, adj)
+            assert np.all(hops < np.iinfo(np.int32).max)
+
+    def test_random_graph_symmetric(self):
+        rng = np.random.default_rng(1)
+        adj = _random_graph(20, 0.3, rng)
+        for u, nbrs in enumerate(adj):
+            for v in nbrs:
+                assert u in adj[v]
+
+    def test_bfs_all_pairs_path_graph(self):
+        # 0-1-2-3 path
+        adj = [{1}, {0, 2}, {1, 3}, {2}]
+        hops = _bfs_all_pairs(4, adj)
+        assert hops[0, 3] == 3
+        assert hops[1, 2] == 1
+        assert np.array_equal(hops, hops.T)

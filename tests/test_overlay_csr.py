@@ -1,0 +1,76 @@
+"""Differential tests: live_csr vs live_neighbors under churn."""
+
+import numpy as np
+import pytest
+
+from repro.network.overlay import Overlay
+from repro.network.topology import random_topology
+
+
+@pytest.fixture
+def overlay():
+    topo = random_topology(60, avg_degree=4.0, rng=np.random.default_rng(0))
+    lats = np.random.default_rng(1).uniform(1.0, 50.0, size=len(topo.edges))
+    return Overlay(topo, edge_latencies_ms=lats)
+
+
+def csr_neighbors(overlay, node):
+    indptr, indices, lats = overlay.live_csr()
+    lo, hi = indptr[node], indptr[node + 1]
+    return indices[lo:hi], lats[lo:hi]
+
+
+def assert_views_agree(overlay):
+    """The two views agree for live sources; offline rows are empty in CSR.
+
+    (live_neighbors also answers for offline sources -- used when a
+    rejoining node looks for attachment points -- while the CSR covers
+    live-to-live edges only, which is all walk steps need.)
+    """
+    for node in range(overlay.n):
+        c_nbrs, c_lats = csr_neighbors(overlay, node)
+        if not overlay.is_live(node):
+            assert len(c_nbrs) == 0
+            continue
+        nbrs, lats = overlay.live_neighbors(node)
+        want = sorted(zip(nbrs.tolist(), lats.tolist()))
+        got = sorted(zip(c_nbrs.tolist(), c_lats.tolist()))
+        assert got == want, f"node {node}: CSR {got} != mask view {want}"
+
+
+class TestLiveCsr:
+    def test_agrees_when_all_live(self, overlay):
+        assert_views_agree(overlay)
+
+    def test_agrees_under_churn(self, overlay):
+        rng = np.random.default_rng(2)
+        for node in rng.choice(60, size=20, replace=False):
+            overlay.leave(int(node))
+        assert_views_agree(overlay)
+        # Offline nodes expose no outgoing edges in the CSR.
+        indptr, _, _ = overlay.live_csr()
+        for node in range(60):
+            if not overlay.is_live(node):
+                assert indptr[node + 1] == indptr[node]
+
+    def test_cache_invalidation_on_epoch(self, overlay):
+        a = overlay.live_csr()
+        b = overlay.live_csr()
+        assert a[0] is b[0]  # cache hit within an epoch
+        overlay.leave(0)
+        c = overlay.live_csr()
+        assert c[0] is not a[0]
+        assert_views_agree(overlay)
+
+    def test_rejoin_restores_edges(self, overlay):
+        before = overlay.live_csr()[0].copy()
+        overlay.leave(5)
+        overlay.join(5)
+        after = overlay.live_csr()[0]
+        assert np.array_equal(before, after)
+
+    def test_total_directed_edges(self, overlay):
+        indptr, indices, _ = overlay.live_csr()
+        src, _, _ = overlay.live_edges()
+        assert indptr[-1] == len(src)
+        assert len(indices) == len(src)

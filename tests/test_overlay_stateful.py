@@ -1,0 +1,91 @@
+"""Model-based test: overlay live-edge views under arbitrary churn.
+
+The overlay caches filtered edge arrays and degree vectors per epoch; this
+machine churns nodes arbitrarily and checks every cached view against a
+from-scratch recomputation -- the exact bug class (stale caches) that the
+epoch counter exists to prevent.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.network.overlay import Overlay
+from repro.network.topology import random_topology
+
+N = 25
+
+
+class OverlayChurnMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        topo = random_topology(N, avg_degree=4.0, rng=np.random.default_rng(7))
+        self.overlay = Overlay(topo, default_edge_latency_ms=10.0)
+        self.edges = topo.edges
+        self.model_live = np.ones(N, dtype=bool)
+
+    @rule(node=st.integers(min_value=0, max_value=N - 1))
+    def toggle(self, node) -> None:
+        if self.model_live[node]:
+            self.overlay.leave(node)
+            self.model_live[node] = False
+        else:
+            self.overlay.join(node)
+            self.model_live[node] = True
+
+    @rule()
+    def touch_caches(self) -> None:
+        """Exercise the cached views so stale reuse would be possible."""
+        self.overlay.live_edges()
+        self.overlay.live_degrees()
+
+    @invariant()
+    def live_edges_match_model(self) -> None:
+        src, dst, lat = self.overlay.live_edges()
+        got = set(zip(src.tolist(), dst.tolist()))
+        want = set()
+        for u, v in self.edges:
+            if self.model_live[u] and self.model_live[v]:
+                want.add((int(u), int(v)))
+                want.add((int(v), int(u)))
+        assert got == want
+        assert len(lat) == len(src)
+
+    @invariant()
+    def degrees_match_model(self) -> None:
+        deg = self.overlay.live_degrees()
+        for node in range(N):
+            if not self.model_live[node]:
+                assert deg[node] == 0
+            else:
+                expected = sum(
+                    1
+                    for u, v in self.edges
+                    if (u == node and self.model_live[v])
+                    or (v == node and self.model_live[u])
+                )
+                assert deg[node] == expected
+
+    @invariant()
+    def neighbors_match_model(self) -> None:
+        for node in range(0, N, 5):
+            nbrs, lats = self.overlay.live_neighbors(node)
+            expected = sorted(
+                int(v) if u == node else int(u)
+                for u, v in self.edges
+                if (u == node and self.model_live[v])
+                or (v == node and self.model_live[u])
+            )
+            assert sorted(nbrs.tolist()) == expected
+            assert len(lats) == len(nbrs)
+
+    @invariant()
+    def live_count_matches(self) -> None:
+        assert self.overlay.live_count() == int(self.model_live.sum())
+
+
+OverlayChurnMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)
+TestOverlayChurn = OverlayChurnMachine.TestCase

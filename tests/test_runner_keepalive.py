@@ -1,0 +1,36 @@
+"""Runner integration of keep-alive modelling (footnote 1)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.metrics import TrafficCategory
+from repro.simulation import run_experiment, scaled_config
+
+
+def cfg(**kwargs):
+    base = scaled_config(
+        "flooding",
+        "random",
+        n_peers=100,
+        n_queries=40,
+        use_physical_network=False,
+    )
+    return replace(base, **kwargs)
+
+
+class TestRunnerKeepalives:
+    def test_disabled_by_default(self):
+        result = run_experiment(cfg())
+        assert result.ledger.total_bytes([TrafficCategory.KEEPALIVE]) == 0
+
+    def test_enabled_records_but_never_loads(self):
+        result = run_experiment(cfg(model_keepalives=True, keepalive_period_s=5.0))
+        keepalive = result.ledger.total_bytes([TrafficCategory.KEEPALIVE])
+        assert keepalive > 0
+        # Footnote 1: the load figures must be identical with or without.
+        baseline = run_experiment(cfg())
+        assert result.load_summary().mean == pytest.approx(
+            baseline.load_summary().mean
+        )
+        assert result.success_rate() == baseline.success_rate()

@@ -1,0 +1,127 @@
+"""Statistical validation of walk-based searches against closed forms.
+
+On a complete graph the random walk's step destinations are uniform over
+the other n-1 nodes, so hit probabilities have exact closed forms -- a
+differential check that needs no reference implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.overlay import Overlay
+from repro.network.topology import OverlayTopology
+from repro.search.random_walk import RandomWalkSearch
+from repro.sim.metrics import BandwidthLedger
+from repro.workload.content import ContentIndex, Document
+
+
+def clique(n, lat=10.0):
+    edges = np.array(
+        [[i, j] for i in range(n) for j in range(i + 1, n)], dtype=np.int64
+    )
+    topo = OverlayTopology(name="clique", n=n, edges=edges, physical_ids=np.arange(n))
+    return Overlay(topo, default_edge_latency_ms=lat)
+
+
+class TestWalkHitProbability:
+    def test_single_walker_matches_geometric(self):
+        """One walker, one target on K_n: P(miss in L steps) = (1-1/(n-1))^L.
+
+        (The walker starts at the requester; each step is uniform over the
+        n-1 other nodes... it can step back onto the requester too -- on a
+        clique every step is uniform over the n-1 neighbours of the current
+        node, of which the target is one unless the walker sits on it.)
+        """
+        n, L, trials = 20, 10, 400
+        overlay = clique(n)
+        hits = 0
+        for trial in range(trials):
+            content = ContentIndex()
+            content.register_document(Document(doc_id=1, class_id=0, keywords=("kw",)))
+            content.place(n - 1, 1)
+            algo = RandomWalkSearch(
+                overlay,
+                content,
+                BandwidthLedger(),
+                rng=np.random.default_rng(trial),
+                walkers=1,
+                ttl=L,
+            )
+            hits += algo.search(0, ["kw"], now=0.0).success
+        observed = hits / trials
+        # Miss probability per step ~ 1 - 1/(n-1); over L steps:
+        predicted = 1.0 - (1.0 - 1.0 / (n - 1)) ** L
+        assert observed == pytest.approx(predicted, abs=0.08)
+
+    def test_five_walkers_beat_one(self):
+        n, L = 25, 6
+        overlay = clique(n)
+
+        def run(walkers, seed):
+            content = ContentIndex()
+            content.register_document(Document(doc_id=1, class_id=0, keywords=("kw",)))
+            content.place(n - 1, 1)
+            algo = RandomWalkSearch(
+                overlay,
+                content,
+                BandwidthLedger(),
+                rng=np.random.default_rng(seed),
+                walkers=walkers,
+                ttl=L,
+            )
+            return algo.search(0, ["kw"], now=0.0).success
+
+        one = sum(run(1, s) for s in range(200)) / 200
+        five = sum(run(5, s) for s in range(200)) / 200
+        assert five > one
+
+    def test_more_replicas_raise_hit_rate(self):
+        n, L, trials = 30, 5, 200
+        overlay = clique(n)
+
+        def rate(n_replicas):
+            hits = 0
+            for trial in range(trials):
+                content = ContentIndex()
+                content.register_document(
+                    Document(doc_id=1, class_id=0, keywords=("kw",))
+                )
+                for h in range(1, n_replicas + 1):
+                    content.place(n - h, 1)
+                algo = RandomWalkSearch(
+                    overlay,
+                    content,
+                    BandwidthLedger(),
+                    rng=np.random.default_rng(trial),
+                    walkers=2,
+                    ttl=L,
+                )
+                hits += algo.search(0, ["kw"], now=0.0).success
+            return hits / trials
+
+        assert rate(6) > rate(1) + 0.1  # replication is what walks need
+
+    def test_response_time_is_step_count_times_latency(self):
+        """On a clique with flat latency, a successful walk's response time
+        is (steps to hit + 1 direct reply) x latency -- an exact identity."""
+        n = 12
+        overlay = clique(n, lat=10.0)
+        content = ContentIndex()
+        content.register_document(Document(doc_id=1, class_id=0, keywords=("kw",)))
+        content.place(n - 1, 1)
+        for seed in range(30):
+            algo = RandomWalkSearch(
+                overlay,
+                content,
+                BandwidthLedger(),
+                rng=np.random.default_rng(seed),
+                walkers=1,
+                ttl=50,
+            )
+            out = algo.search(0, ["kw"], now=0.0)
+            if out.success:
+                # messages = walk steps + 1 reply; the walk's travel time is
+                # (messages - 1) steps x 10ms at most (the successful walker
+                # took <= that many), and the reply adds 10ms.
+                assert out.response_time_ms % 10.0 == pytest.approx(0.0, abs=1e-9)
+                assert out.response_time_ms <= out.messages * 10.0

@@ -1,0 +1,164 @@
+"""Tests for random-walk and GSA search."""
+
+import numpy as np
+import pytest
+
+from repro.network.overlay import Overlay
+from repro.network.topology import OverlayTopology, random_topology
+from repro.search.gsa import GsaSearch
+from repro.search.random_walk import RandomWalkSearch
+from repro.sim.metrics import BandwidthLedger, TrafficCategory
+from repro.workload.content import ContentIndex, Document
+
+
+def path_overlay(n=5, lat=10.0):
+    edges = np.array([[i, i + 1] for i in range(n - 1)], dtype=np.int64)
+    topo = OverlayTopology(name="path", n=n, edges=edges, physical_ids=np.arange(n))
+    return Overlay(topo, default_edge_latency_ms=lat)
+
+
+def build(algo_cls, overlay, holder, keywords=("rock",), **kwargs):
+    content = ContentIndex()
+    content.register_document(Document(doc_id=1, class_id=0, keywords=keywords))
+    content.place(holder, 1)
+    ledger = BandwidthLedger()
+    algo = algo_cls(
+        overlay, content, ledger, rng=np.random.default_rng(0), **kwargs
+    )
+    return algo, content, ledger
+
+
+class TestRandomWalk:
+    def test_finds_adjacent_holder(self):
+        # Two-node path: the only move is onto the holder.
+        algo, _, _ = build(RandomWalkSearch, path_overlay(2), holder=1)
+        out = algo.search(0, ["rock"], now=0.0)
+        assert out.success
+        assert out.response_time_ms == pytest.approx(20.0)  # 10 there + 10 reply
+        assert out.results == 1
+
+    def test_local_hit(self):
+        algo, _, ledger = build(RandomWalkSearch, path_overlay(3), holder=0)
+        out = algo.search(0, ["rock"], now=0.0)
+        assert out.local_hit
+        assert ledger.total_bytes() == 0
+
+    def test_ttl_exhaustion_fails(self):
+        # Holder absent entirely: walkers burn their full TTL.
+        overlay = path_overlay(4)
+        content = ContentIndex()
+        content.register_document(Document(doc_id=1, class_id=0, keywords=("x",)))
+        content.place(3, 1)
+        ledger = BandwidthLedger()
+        algo = RandomWalkSearch(
+            overlay, content, ledger, rng=np.random.default_rng(0), walkers=2, ttl=5
+        )
+        out = algo.search(0, ["absent-term"], now=0.0)
+        assert not out.success
+        assert out.messages == 2 * 5  # both walkers exhaust their TTL
+
+    def test_messages_bounded_by_budget(self):
+        topo = random_topology(100, avg_degree=5.0, rng=np.random.default_rng(1))
+        ov = Overlay(topo, default_edge_latency_ms=10.0)
+        algo, _, _ = build(RandomWalkSearch, ov, holder=50, walkers=5, ttl=64)
+        out = algo.search(0, ["rock"], now=0.0)
+        assert out.messages <= 5 * 64 + 1  # +1 for the reply
+
+    def test_walkers_stop_after_first_hit(self):
+        """Total steps must be well below the worst case when a hit is close."""
+        algo, _, _ = build(RandomWalkSearch, path_overlay(2), holder=1, ttl=1024)
+        out = algo.search(0, ["rock"], now=0.0)
+        # All 5 walkers step onto node 1 at t=10ms; each takes exactly one
+        # step before the cutoff.
+        assert out.messages <= 5 + 1
+
+    def test_ledger_bytes_match_messages(self):
+        topo = random_topology(60, avg_degree=4.0, rng=np.random.default_rng(2))
+        ov = Overlay(topo, default_edge_latency_ms=10.0)
+        algo, _, ledger = build(RandomWalkSearch, ov, holder=30, ttl=32)
+        out = algo.search(0, ["rock"], now=0.0)
+        q_bytes = ledger.total_bytes([TrafficCategory.QUERY])
+        q_msgs = ledger.total_messages([TrafficCategory.QUERY])
+        assert q_bytes == q_msgs * 100
+
+    def test_invalid_params(self):
+        ov = path_overlay(3)
+        content = ContentIndex()
+        ledger = BandwidthLedger()
+        with pytest.raises(ValueError):
+            RandomWalkSearch(ov, content, ledger, walkers=0)
+        with pytest.raises(ValueError):
+            RandomWalkSearch(ov, content, ledger, ttl=0)
+
+    def test_stranded_walker_no_crash(self):
+        # Requester's only neighbour goes offline mid-setup: walkers have
+        # nowhere to go and the search fails gracefully.
+        ov = path_overlay(3)
+        ov.leave(1)
+        algo, _, _ = build(RandomWalkSearch, ov, holder=2)
+        out = algo.search(0, ["rock"], now=0.0)
+        assert not out.success
+        assert out.messages == 0
+
+
+class TestGsa:
+    def test_lookahead_finds_two_hop_holder(self):
+        # Path 0-1-2: walker moves to 1 then probes 2.
+        algo, _, _ = build(GsaSearch, path_overlay(3), holder=2)
+        out = algo.search(0, ["rock"], now=0.0)
+        assert out.success
+        # The probe spots the holder at t=30 (move 10 + probe RTT 20), but
+        # the walker's own next step arrives at node 2 at t=20, so the
+        # earliest answer is walk arrival (20) + direct reply (10) = 30.
+        assert out.response_time_ms == pytest.approx(30.0)
+
+    def test_budget_limits_messages(self):
+        topo = random_topology(200, avg_degree=5.0, rng=np.random.default_rng(3))
+        ov = Overlay(topo, default_edge_latency_ms=10.0)
+        algo, _, _ = build(GsaSearch, ov, holder=100, budget=50, walkers=5)
+        out = algo.search(0, ["no-such-term"], now=0.0)
+        assert not out.success
+        assert out.messages <= 50
+
+    def test_higher_success_than_plain_walk_shape(self):
+        """With the paper's relative budgets (8,000 GSA messages vs 5x1024
+        walk steps, scaled down 1:64) GSA answers at least as many queries."""
+        rng = np.random.default_rng(4)
+        topo = random_topology(300, avg_degree=5.0, rng=rng)
+        successes = {"rw": 0, "gsa": 0}
+        for trial in range(40):
+            content = ContentIndex()
+            content.register_document(
+                Document(doc_id=1, class_id=0, keywords=("kw",))
+            )
+            holder = 1 + (trial * 7) % 299
+            content.place(holder, 1)
+            ledger = BandwidthLedger()
+            ov = Overlay(topo, default_edge_latency_ms=10.0)
+            rw = RandomWalkSearch(
+                ov, content, ledger, rng=np.random.default_rng(trial), walkers=5, ttl=16
+            )
+            gsa = GsaSearch(
+                ov, content, ledger, rng=np.random.default_rng(trial), walkers=5, budget=125
+            )
+            successes["rw"] += rw.search(0, ["kw"], now=0.0).success
+            successes["gsa"] += gsa.search(0, ["kw"], now=0.0).success
+        assert successes["gsa"] >= successes["rw"] - 2
+
+    def test_local_hit(self):
+        algo, _, _ = build(GsaSearch, path_overlay(3), holder=0)
+        assert algo.search(0, ["rock"], now=0.0).local_hit
+
+    def test_invalid_params(self):
+        ov = path_overlay(3)
+        with pytest.raises(ValueError):
+            GsaSearch(ov, ContentIndex(), BandwidthLedger(), budget=0)
+        with pytest.raises(ValueError):
+            GsaSearch(ov, ContentIndex(), BandwidthLedger(), walkers=0)
+
+    def test_failure_when_disconnected(self):
+        ov = path_overlay(4)
+        ov.leave(1)
+        algo, _, _ = build(GsaSearch, ov, holder=3)
+        out = algo.search(0, ["rock"], now=0.0)
+        assert not out.success

@@ -1,0 +1,202 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import PeriodicTimer, SimulationEngine, SimulationError, ms
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = SimulationEngine()
+        order = []
+        eng.schedule_at(2.0, lambda: order.append("b"))
+        eng.schedule_at(1.0, lambda: order.append("a"))
+        eng.schedule_at(3.0, lambda: order.append("c"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        eng = SimulationEngine()
+        order = []
+        for tag in range(5):
+            eng.schedule_at(1.0, lambda t=tag: order.append(t))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule_at(5.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [5.5]
+        assert eng.now == 5.5
+
+    def test_schedule_after_is_relative(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule_at(10.0, lambda: eng.schedule_after(2.5, lambda: seen.append(eng.now)))
+        eng.run()
+        assert seen == [12.5]
+
+    def test_scheduling_into_past_raises(self):
+        eng = SimulationEngine()
+        eng.schedule_at(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        eng = SimulationEngine()
+        with pytest.raises(SimulationError):
+            eng.schedule_after(-1.0, lambda: None)
+
+    def test_nan_time_raises(self):
+        eng = SimulationEngine()
+        with pytest.raises(SimulationError):
+            eng.schedule_at(float("nan"), lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        eng = SimulationEngine()
+        order = []
+
+        def first():
+            order.append("first")
+            eng.schedule_after(1.0, lambda: order.append("second"))
+
+        eng.schedule_at(0.0, first)
+        eng.run()
+        assert order == ["first", "second"]
+
+    def test_event_at_current_time_during_run_executes(self):
+        eng = SimulationEngine()
+        order = []
+        eng.schedule_at(1.0, lambda: eng.schedule_after(0.0, lambda: order.append("x")))
+        eng.run()
+        assert order == ["x"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = SimulationEngine()
+        fired = []
+        ev = eng.schedule_at(1.0, lambda: fired.append(1))
+        ev.cancel()
+        eng.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        eng = SimulationEngine()
+        ev = eng.schedule_at(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        eng.run()
+
+    def test_pending_excludes_cancelled(self):
+        eng = SimulationEngine()
+        eng.schedule_at(1.0, lambda: None)
+        ev = eng.schedule_at(2.0, lambda: None)
+        ev.cancel()
+        assert eng.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_bounds_clock(self):
+        eng = SimulationEngine()
+        fired = []
+        eng.schedule_at(1.0, lambda: fired.append(1))
+        eng.schedule_at(10.0, lambda: fired.append(10))
+        eng.run(until=5.0)
+        assert fired == [1]
+        assert eng.now == 5.0  # clock advanced to the bound
+
+    def test_event_exactly_at_until_fires(self):
+        eng = SimulationEngine()
+        fired = []
+        eng.schedule_at(5.0, lambda: fired.append(5))
+        eng.run(until=5.0)
+        assert fired == [5]
+
+    def test_run_resumes_after_until(self):
+        eng = SimulationEngine()
+        fired = []
+        eng.schedule_at(10.0, lambda: fired.append(10))
+        eng.run(until=5.0)
+        eng.run()
+        assert fired == [10]
+
+    def test_step_executes_single_event(self):
+        eng = SimulationEngine()
+        fired = []
+        eng.schedule_at(1.0, lambda: fired.append(1))
+        eng.schedule_at(2.0, lambda: fired.append(2))
+        assert eng.step() is True
+        assert fired == [1]
+        assert eng.step() is True
+        assert eng.step() is False
+
+    def test_events_processed_counts_fired_only(self):
+        eng = SimulationEngine()
+        eng.schedule_at(1.0, lambda: None)
+        ev = eng.schedule_at(2.0, lambda: None)
+        ev.cancel()
+        eng.run()
+        assert eng.events_processed == 1
+
+    def test_reentrant_run_rejected(self):
+        eng = SimulationEngine()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                eng.run()
+
+        eng.schedule_at(1.0, reenter)
+        eng.run()
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self):
+        eng = SimulationEngine()
+        times = []
+        PeriodicTimer(eng, period=2.0, callback=lambda: times.append(eng.now))
+        eng.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_phase_offsets_first_firing(self):
+        eng = SimulationEngine()
+        times = []
+        PeriodicTimer(eng, period=2.0, callback=lambda: times.append(eng.now), phase=0.5)
+        eng.run(until=5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_stop_halts_firings(self):
+        eng = SimulationEngine()
+        times = []
+        timer = PeriodicTimer(eng, period=1.0, callback=lambda: times.append(eng.now))
+        eng.schedule_at(2.5, timer.stop)
+        eng.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert timer.stopped
+
+    def test_callback_can_stop_own_timer(self):
+        eng = SimulationEngine()
+        times = []
+        timer = None
+
+        def cb():
+            times.append(eng.now)
+            if len(times) == 3:
+                timer.stop()
+
+        timer = PeriodicTimer(eng, period=1.0, callback=cb)
+        eng.run(until=100.0)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_nonpositive_period_rejected(self):
+        eng = SimulationEngine()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(eng, period=0.0, callback=lambda: None)
+
+
+def test_ms_converts_to_seconds():
+    assert ms(50.0) == 0.05
+    assert ms(0.0) == 0.0

@@ -1,0 +1,166 @@
+"""Tests for bandwidth accounting and load series."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import (
+    ASAP_LOAD_CATEGORIES,
+    BASELINE_LOAD_CATEGORIES,
+    BandwidthLedger,
+    Counter,
+    LiveCountTracker,
+    LoadSeries,
+    TrafficCategory,
+)
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("hits")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        c = Counter("hits")
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+
+class TestBandwidthLedger:
+    def test_totals_by_category(self):
+        led = BandwidthLedger()
+        led.record(0.5, TrafficCategory.QUERY, 100)
+        led.record(1.5, TrafficCategory.QUERY, 200)
+        led.record(1.7, TrafficCategory.FULL_AD, 1000)
+        assert led.total_bytes() == 1300
+        assert led.total_bytes([TrafficCategory.QUERY]) == 300
+        assert led.total_bytes([TrafficCategory.FULL_AD]) == 1000
+
+    def test_message_counts(self):
+        led = BandwidthLedger()
+        led.record(0.0, TrafficCategory.QUERY, 500, messages=5)
+        led.record(0.0, TrafficCategory.CONFIRMATION, 80)
+        assert led.total_messages([TrafficCategory.QUERY]) == 5
+        assert led.total_messages() == 6
+
+    def test_negative_bytes_rejected(self):
+        led = BandwidthLedger()
+        with pytest.raises(ValueError):
+            led.record(0.0, TrafficCategory.QUERY, -1)
+
+    def test_negative_time_rejected(self):
+        led = BandwidthLedger()
+        with pytest.raises(ValueError):
+            led.record(-0.1, TrafficCategory.QUERY, 1)
+
+    def test_series_buckets_by_second(self):
+        led = BandwidthLedger()
+        led.record(0.2, TrafficCategory.QUERY, 10)
+        led.record(0.9, TrafficCategory.QUERY, 15)
+        led.record(2.1, TrafficCategory.QUERY, 30)
+        series = led.series([TrafficCategory.QUERY])
+        assert series.t_start == 0
+        assert list(series.bytes_per_second) == [25.0, 0.0, 30.0]
+
+    def test_series_filters_categories(self):
+        led = BandwidthLedger()
+        led.record(0.0, TrafficCategory.QUERY, 10)
+        led.record(0.0, TrafficCategory.FULL_AD, 99)
+        series = led.series([TrafficCategory.QUERY])
+        assert list(series.bytes_per_second) == [10.0]
+
+    def test_series_explicit_range(self):
+        led = BandwidthLedger()
+        led.record(5.0, TrafficCategory.QUERY, 7)
+        series = led.series([TrafficCategory.QUERY], t_start=4, t_end=8)
+        assert len(series) == 4
+        assert list(series.bytes_per_second) == [0.0, 7.0, 0.0, 0.0]
+
+    def test_empty_ledger_series(self):
+        led = BandwidthLedger()
+        series = led.series([TrafficCategory.QUERY])
+        assert len(series) == 0
+
+    def test_breakdown_fractions(self):
+        led = BandwidthLedger()
+        led.record(0.0, TrafficCategory.FULL_AD, 85)
+        led.record(0.0, TrafficCategory.PATCH_AD, 900)
+        led.record(0.0, TrafficCategory.REFRESH_AD, 15)
+        frac = led.breakdown_fractions(
+            [TrafficCategory.FULL_AD, TrafficCategory.PATCH_AD, TrafficCategory.REFRESH_AD]
+        )
+        assert frac[TrafficCategory.FULL_AD] == pytest.approx(0.085)
+        assert sum(frac.values()) == pytest.approx(1.0)
+
+    def test_breakdown_empty_is_zero(self):
+        led = BandwidthLedger()
+        frac = led.breakdown_fractions([TrafficCategory.QUERY])
+        assert frac[TrafficCategory.QUERY] == 0.0
+
+    def test_load_category_sets_are_disjoint(self):
+        assert not (ASAP_LOAD_CATEGORIES & BASELINE_LOAD_CATEGORIES)
+        assert TrafficCategory.DOWNLOAD not in ASAP_LOAD_CATEGORIES
+        assert TrafficCategory.KEEPALIVE not in BASELINE_LOAD_CATEGORIES
+
+
+class TestLoadSeries:
+    def test_per_node_divides_by_live_counts(self):
+        series = LoadSeries(t_start=0, bytes_per_second=np.array([100.0, 200.0]))
+        per_node = series.per_node(np.array([10, 20]))
+        assert list(per_node) == [10.0, 10.0]
+
+    def test_per_node_zero_live_is_zero(self):
+        series = LoadSeries(t_start=0, bytes_per_second=np.array([100.0]))
+        assert series.per_node(np.array([0]))[0] == 0.0
+
+    def test_per_node_length_mismatch(self):
+        series = LoadSeries(t_start=0, bytes_per_second=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            series.per_node(np.array([1]))
+
+    def test_summarize(self):
+        series = LoadSeries(t_start=0, bytes_per_second=np.array([10.0, 30.0]))
+        summary = series.summarize(np.array([10, 10]))
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.peak == pytest.approx(3.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.total_bytes == 40.0
+        assert summary.duration == 2
+
+    def test_summarize_empty(self):
+        series = LoadSeries(t_start=0, bytes_per_second=np.array([]))
+        summary = series.summarize(np.array([], dtype=np.int64))
+        assert summary.mean == 0.0 and summary.duration == 0
+
+    def test_window(self):
+        series = LoadSeries(t_start=10, bytes_per_second=np.arange(5.0))
+        win = series.window(12, 2)
+        assert win.t_start == 12
+        assert list(win.bytes_per_second) == [2.0, 3.0]
+
+    def test_window_out_of_range(self):
+        series = LoadSeries(t_start=0, bytes_per_second=np.arange(3.0))
+        with pytest.raises(ValueError):
+            series.window(2, 5)
+
+
+class TestLiveCountTracker:
+    def test_constant_when_no_churn(self):
+        tracker = LiveCountTracker(initial=100)
+        assert list(tracker.counts(0, 3)) == [100, 100, 100]
+
+    def test_join_and_leave_applied_in_order(self):
+        tracker = LiveCountTracker(initial=10)
+        tracker.record_change(1.5, +1)
+        tracker.record_change(2.5, -1)
+        tracker.record_change(2.6, -1)
+        # sampled at start of each second: change at 1.5 visible from t=2
+        assert list(tracker.counts(0, 5)) == [10, 10, 11, 9, 9]
+
+    def test_unsorted_recording_ok(self):
+        tracker = LiveCountTracker(initial=5)
+        tracker.record_change(3.0, -1)
+        tracker.record_change(1.0, +1)
+        # events at an integer boundary are visible in that same second
+        assert list(tracker.counts(0, 5)) == [5, 6, 6, 5, 5]

@@ -1,0 +1,161 @@
+"""Tests for coroutine processes on the DES kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.process import ProcessHandle, spawn
+
+
+class TestBasics:
+    def test_yield_delays_advance_clock(self):
+        eng = SimulationEngine()
+        times = []
+
+        def proc():
+            times.append(eng.now)
+            yield 2.0
+            times.append(eng.now)
+            yield 3.5
+            times.append(eng.now)
+
+        spawn(eng, proc())
+        eng.run()
+        assert times == [0.0, 2.0, 5.5]
+
+    def test_spawn_delay(self):
+        eng = SimulationEngine()
+        times = []
+
+        def proc():
+            times.append(eng.now)
+            yield 1.0
+            times.append(eng.now)
+
+        spawn(eng, proc(), delay=4.0)
+        eng.run()
+        assert times == [4.0, 5.0]
+
+    def test_return_value_captured(self):
+        eng = SimulationEngine()
+
+        def proc():
+            yield 1.0
+            return 42
+
+        handle = spawn(eng, proc())
+        eng.run()
+        assert handle.finished
+        assert handle.value == 42
+
+    def test_two_processes_interleave(self):
+        eng = SimulationEngine()
+        order = []
+
+        def ticker(name, period):
+            while eng.now < 5.0:
+                yield period
+                order.append((eng.now, name))
+
+        spawn(eng, ticker("a", 2.0))
+        spawn(eng, ticker("b", 3.0))
+        eng.run(until=7.0)
+        assert (2.0, "a") in order and (3.0, "b") in order
+        times = [t for t, _ in order]
+        assert times == sorted(times)  # ties break by scheduling order
+
+    def test_spawn_requires_generator(self):
+        eng = SimulationEngine()
+
+        def not_a_generator():
+            return 5
+
+        with pytest.raises(SimulationError):
+            spawn(eng, not_a_generator())  # type: ignore[arg-type]
+
+
+class TestInterrupt:
+    def test_interrupt_stops_process(self):
+        eng = SimulationEngine()
+        ticks = []
+
+        def proc():
+            while True:
+                yield 1.0
+                ticks.append(eng.now)
+
+        handle = spawn(eng, proc())
+        eng.schedule_at(3.5, handle.interrupt)
+        eng.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert handle.finished and handle.interrupted
+
+    def test_interrupt_idempotent(self):
+        eng = SimulationEngine()
+        handle = spawn(eng, (yield_once() for yield_once in [lambda: 1.0]))
+        handle.interrupt()
+        handle.interrupt()
+        assert handle.finished
+
+
+class TestJoin:
+    def test_yield_handle_joins(self):
+        eng = SimulationEngine()
+        order = []
+
+        def worker():
+            yield 3.0
+            order.append(("worker-done", eng.now))
+            return "result"
+
+        def waiter(worker_handle):
+            order.append(("wait-start", eng.now))
+            yield worker_handle
+            order.append(("resumed", eng.now, worker_handle.value))
+
+        wh = spawn(eng, worker())
+        spawn(eng, waiter(wh))
+        eng.run()
+        assert order == [
+            ("wait-start", 0.0),
+            ("worker-done", 3.0),
+            ("resumed", 3.0, "result"),
+        ]
+
+    def test_join_finished_process_resumes_immediately(self):
+        eng = SimulationEngine()
+        done = []
+
+        def worker():
+            yield 1.0
+
+        def waiter(worker_handle):
+            yield 5.0  # worker is long gone by now
+            yield worker_handle
+            done.append(eng.now)
+
+        wh = spawn(eng, worker())
+        spawn(eng, waiter(wh))
+        eng.run()
+        assert done == [5.0]
+
+
+class TestErrors:
+    def test_bad_yield_type(self):
+        eng = SimulationEngine()
+
+        def proc():
+            yield "soon"  # type: ignore[misc]
+
+        spawn(eng, proc())
+        with pytest.raises(SimulationError, match="yield a delay"):
+            eng.run()
+
+    def test_negative_delay(self):
+        eng = SimulationEngine()
+
+        def proc():
+            yield -1.0
+
+        spawn(eng, proc())
+        with pytest.raises(SimulationError, match="negative delay"):
+            eng.run()

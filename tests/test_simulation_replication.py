@@ -1,0 +1,78 @@
+"""Tests for multi-seed replication."""
+
+import math
+
+import pytest
+
+from repro.simulation import scaled_config
+from repro.simulation.replication import (
+    MetricSpread,
+    ReplicatedSummary,
+    run_replications,
+)
+
+
+class TestMetricSpread:
+    def test_of_values(self):
+        spread = MetricSpread.of([1.0, 2.0, 3.0])
+        assert spread.mean == 2.0
+        assert spread.min == 1.0 and spread.max == 3.0
+        assert spread.std == pytest.approx(1.0)
+        assert spread.n == 3
+
+    def test_single_value(self):
+        spread = MetricSpread.of([5.0])
+        assert spread.std == 0.0 and spread.n == 1
+
+    def test_non_finite_filtered(self):
+        spread = MetricSpread.of([1.0, math.inf, math.nan, 3.0])
+        assert spread.n == 2
+        assert spread.mean == 2.0
+
+    def test_all_non_finite(self):
+        spread = MetricSpread.of([math.nan])
+        assert spread.n == 0 and math.isnan(spread.mean)
+
+    def test_str(self):
+        assert "n=2" in str(MetricSpread.of([1.0, 2.0]))
+
+
+class TestRunReplications:
+    @pytest.fixture(scope="class")
+    def replicated(self) -> ReplicatedSummary:
+        cfg = scaled_config(
+            "flooding",
+            "random",
+            n_peers=120,
+            n_queries=60,
+            use_physical_network=False,
+        )
+        return run_replications(cfg, n_seeds=3)
+
+    def test_seed_sequence(self, replicated):
+        assert replicated.seeds == [0, 1, 2]
+        assert len(replicated.summaries) == 3
+
+    def test_metrics_present(self, replicated):
+        for name in ("success_rate", "avg_cost_bytes", "load_mean_bpns"):
+            assert replicated[name].n == 3
+
+    def test_spread_is_nontrivial(self, replicated):
+        # Different seeds genuinely vary the workload.
+        assert replicated["avg_cost_bytes"].std > 0
+
+    def test_mean_within_extremes(self, replicated):
+        for spread in replicated.metrics.values():
+            if spread.n:
+                assert spread.min <= spread.mean <= spread.max
+
+    def test_format_table(self, replicated):
+        table = replicated.format_table()
+        assert "flooding" in table
+        assert "success_rate" in table
+        assert "±" in table
+
+    def test_invalid_n(self):
+        cfg = scaled_config("flooding", n_peers=100, n_queries=10)
+        with pytest.raises(ValueError):
+            run_replications(cfg, n_seeds=0)

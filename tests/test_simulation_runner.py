@@ -1,0 +1,123 @@
+"""Integration tests: full trace replays through the runner."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import TrafficCategory
+from repro.simulation import RunConfig, run_experiment, scaled_config
+
+
+def small_cfg(algo, seed=0, **kwargs):
+    defaults = dict(
+        n_peers=150,
+        n_queries=150,
+        topology="random",
+        use_physical_network=False,  # flat latencies keep unit runs fast
+    )
+    defaults.update(kwargs)
+    return scaled_config(algo, seed=seed, **defaults)
+
+
+@pytest.fixture(scope="module")
+def flooding_result():
+    return run_experiment(small_cfg("flooding"))
+
+
+@pytest.fixture(scope="module")
+def asap_result():
+    return run_experiment(small_cfg("asap_rw"))
+
+
+class TestRunnerBasics:
+    def test_all_queries_answered(self, flooding_result):
+        assert flooding_result.n_queries >= 140  # a few slots may drop
+
+    def test_flooding_metrics_sane(self, flooding_result):
+        assert 0.7 <= flooding_result.success_rate() <= 1.0
+        assert flooding_result.avg_response_time_ms() > 0
+        assert flooding_result.avg_cost_bytes() > 1_000
+
+    def test_load_window_excludes_warmup(self, flooding_result):
+        assert flooding_result.t_start >= 0
+        assert flooding_result.t_end > flooding_result.t_start
+        assert len(flooding_result.live_counts) == (
+            flooding_result.t_end - flooding_result.t_start
+        )
+
+    def test_live_counts_track_churn(self, flooding_result):
+        counts = flooding_result.live_counts
+        assert counts.max() <= 150
+        assert counts.min() >= 75  # min_live_fraction guard
+
+    def test_summary_fields(self, flooding_result):
+        s = flooding_result.summarize()
+        assert s.algorithm == "flooding"
+        assert s.topology == "random"
+        assert 0 <= s.success_rate <= 1
+        assert s.load_mean_bpns >= 0
+        assert set(s.row()) >= {"algorithm", "success_rate", "load_mean_bpns"}
+
+    def test_determinism(self):
+        a = run_experiment(small_cfg("flooding", seed=3))
+        b = run_experiment(small_cfg("flooding", seed=3))
+        assert a.success_rate() == b.success_rate()
+        assert a.avg_cost_bytes() == b.avg_cost_bytes()
+        assert a.ledger.total_bytes() == b.ledger.total_bytes()
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(small_cfg("flooding", seed=3))
+        b = run_experiment(small_cfg("flooding", seed=4))
+        assert a.ledger.total_bytes() != b.ledger.total_bytes()
+
+
+class TestAsapRun:
+    def test_asap_success_reasonable(self, asap_result):
+        assert asap_result.success_rate() >= 0.6
+
+    def test_asap_cost_far_below_flooding(self, asap_result, flooding_result):
+        # The headline claim: 2-3 orders of magnitude cheaper searches.
+        assert asap_result.avg_cost_bytes() < flooding_result.avg_cost_bytes() / 20
+
+    def test_asap_response_time_below_flooding(self, asap_result, flooding_result):
+        assert (
+            asap_result.avg_response_time_ms()
+            < 0.5 * flooding_result.avg_response_time_ms()
+        )
+
+    def test_asap_load_categories(self, asap_result):
+        assert TrafficCategory.FULL_AD in asap_result.load_categories
+        assert TrafficCategory.QUERY not in asap_result.load_categories
+
+    def test_ad_breakdown_fractions_sum_to_one(self, asap_result):
+        breakdown = asap_result.ad_breakdown()
+        total = sum(breakdown.values())
+        assert total == pytest.approx(1.0, abs=1e-6) or total == 0.0
+
+    def test_ads_traffic_present(self, asap_result):
+        assert asap_result.ledger.total_bytes([TrafficCategory.FULL_AD]) > 0
+        assert asap_result.ledger.total_bytes([TrafficCategory.CONFIRMATION]) > 0
+
+
+class TestAllAlgorithmsRun:
+    @pytest.mark.parametrize("algo", ["random_walk", "gsa", "asap_fld", "asap_gsa"])
+    def test_run_completes(self, algo):
+        result = run_experiment(small_cfg(algo, n_queries=60))
+        assert result.n_queries > 40
+        assert 0.0 <= result.success_rate() <= 1.0
+
+
+class TestPhysicalNetworkRun:
+    def test_latencies_flow_through(self):
+        cfg = scaled_config(
+            "flooding", n_peers=120, n_queries=60, use_physical_network=True
+        )
+        result = run_experiment(cfg)
+        assert result.success_rate() > 0.5
+        # Physical latencies are heterogeneous: successful responses should
+        # not all share one round-trip value.
+        times = {
+            round(o.response_time_ms, 3)
+            for o in result.outcomes
+            if o.success and not o.local_hit
+        }
+        assert len(times) > 5

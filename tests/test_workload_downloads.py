@@ -1,0 +1,79 @@
+"""Tests for download-traffic modelling (footnote 1's other exclusion)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import (
+    ASAP_LOAD_CATEGORIES,
+    BASELINE_LOAD_CATEGORIES,
+    BandwidthLedger,
+    TrafficCategory,
+)
+from repro.simulation import run_experiment, scaled_config
+from repro.workload.downloads import DownloadModel, DownloadParams
+
+
+class TestDownloadParams:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DownloadParams(download_probability=1.5)
+        with pytest.raises(ValueError):
+            DownloadParams(median_file_bytes=0)
+        with pytest.raises(ValueError):
+            DownloadParams(sigma=-1)
+
+
+class TestDownloadModel:
+    def test_sizes_positive_and_capped(self):
+        model = DownloadModel(
+            BandwidthLedger(),
+            np.random.default_rng(0),
+            DownloadParams(max_file_bytes=1e7),
+        )
+        sizes = [model.sample_file_bytes() for _ in range(500)]
+        assert all(0 < s <= 1e7 for s in sizes)
+
+    def test_median_near_target(self):
+        model = DownloadModel(BandwidthLedger(), np.random.default_rng(1))
+        sizes = [model.sample_file_bytes() for _ in range(3000)]
+        assert np.median(sizes) == pytest.approx(4e6, rel=0.15)
+
+    def test_heavy_tail(self):
+        model = DownloadModel(BandwidthLedger(), np.random.default_rng(2))
+        sizes = np.array([model.sample_file_bytes() for _ in range(3000)])
+        assert sizes.mean() > 1.5 * np.median(sizes)
+
+    def test_probability_respected(self):
+        ledger = BandwidthLedger()
+        model = DownloadModel(
+            ledger,
+            np.random.default_rng(3),
+            DownloadParams(download_probability=0.5),
+        )
+        triggered = sum(
+            1 for _ in range(1000) if model.on_search_success(0.0) is not None
+        )
+        assert triggered == pytest.approx(500, abs=60)
+        assert model.n_downloads == triggered
+        assert ledger.total_messages([TrafficCategory.DOWNLOAD]) == triggered
+
+    def test_excluded_from_load_categories(self):
+        assert TrafficCategory.DOWNLOAD not in ASAP_LOAD_CATEGORIES
+        assert TrafficCategory.DOWNLOAD not in BASELINE_LOAD_CATEGORIES
+
+
+class TestRunnerIntegration:
+    def test_downloads_never_change_reported_figures(self):
+        base_cfg = scaled_config(
+            "flooding", "random", n_peers=100, n_queries=50,
+            use_physical_network=False,
+        )
+        with_dl = replace(base_cfg, model_downloads=True)
+        a = run_experiment(base_cfg)
+        b = run_experiment(with_dl)
+        assert b.ledger.total_bytes([TrafficCategory.DOWNLOAD]) > 0
+        assert a.success_rate() == b.success_rate()
+        assert a.load_summary().mean == pytest.approx(b.load_summary().mean)
+        assert a.avg_cost_bytes() == b.avg_cost_bytes()

@@ -1,0 +1,146 @@
+"""Tests for the synthetic eDonkey content distribution."""
+
+import numpy as np
+import pytest
+
+from repro.workload.edonkey import (
+    ContentDistribution,
+    EdonkeyParams,
+    calibrate_replica_distribution,
+    make_document,
+    synthesize_content,
+)
+from repro.workload.interests import N_CLASSES
+
+
+def small_params(**overrides):
+    defaults = dict(n_peers=400, avg_docs_per_peer=8.0)
+    defaults.update(overrides)
+    return EdonkeyParams(**defaults)
+
+
+class TestReplicaCalibration:
+    def test_paper_targets(self):
+        pmf = calibrate_replica_distribution(1.28, 0.89, 60)
+        counts = np.arange(1, 61)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[0] == pytest.approx(0.89)
+        assert float(np.sum(counts * pmf)) == pytest.approx(1.28, abs=1e-6)
+
+    def test_degenerate_all_single(self):
+        pmf = calibrate_replica_distribution(1.0, 1.0, 10)
+        assert pmf[0] == 1.0 and pmf[1:].sum() == 0.0
+
+    def test_inconsistent_targets_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_replica_distribution(1.0, 0.89, 60)  # mean too low
+        with pytest.raises(ValueError):
+            calibrate_replica_distribution(1.0, 1.0, 1)  # max_copies too small
+        with pytest.raises(ValueError):
+            calibrate_replica_distribution(8.0, 0.89, 10)  # mean too high
+
+    def test_tail_is_decreasing(self):
+        pmf = calibrate_replica_distribution(1.28, 0.89, 60)
+        tail = pmf[1:]
+        assert np.all(np.diff(tail) <= 1e-15)
+
+
+class TestMakeDocument:
+    def test_structure(self):
+        rng = np.random.default_rng(0)
+        vocab = [f"kw{i}" for i in range(50)]
+        doc = make_document(7, 3, vocab, rng, min_kw=2, max_kw=4)
+        assert doc.doc_id == 7
+        assert doc.class_id == 3
+        assert doc.keywords[0] == "title7"
+        assert 3 <= len(doc.keywords) <= 5
+        assert all(kw in vocab for kw in doc.keywords[1:])
+
+    def test_zipf_skews_keyword_usage(self):
+        rng = np.random.default_rng(1)
+        vocab = [f"kw{i}" for i in range(100)]
+        from collections import Counter
+
+        usage = Counter()
+        for i in range(500):
+            doc = make_document(i, 0, vocab, rng, zipf_s=1.2)
+            usage.update(doc.keywords[1:])
+        head = sum(usage[f"kw{i}"] for i in range(10))
+        tail = sum(usage[f"kw{i}"] for i in range(90, 100))
+        assert head > 5 * max(tail, 1)
+
+
+class TestParams:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            EdonkeyParams(n_peers=1)
+        with pytest.raises(ValueError):
+            EdonkeyParams(free_rider_fraction=1.0)
+        with pytest.raises(ValueError):
+            EdonkeyParams(mean_copies=0.9)
+        with pytest.raises(ValueError):
+            EdonkeyParams(single_copy_fraction=0.0)
+        with pytest.raises(ValueError):
+            EdonkeyParams(avg_docs_per_peer=0)
+
+
+class TestSynthesis:
+    @pytest.fixture(scope="class")
+    def dist(self) -> ContentDistribution:
+        return synthesize_content(small_params(), np.random.default_rng(42))
+
+    def test_replication_statistics_near_paper(self, dist):
+        assert dist.index.mean_replica_count() == pytest.approx(1.28, abs=0.06)
+        assert dist.index.single_copy_fraction() == pytest.approx(0.89, abs=0.03)
+
+    def test_free_riders_share_nothing(self, dist):
+        for node in np.nonzero(dist.free_rider)[0]:
+            assert not dist.index.docs_on(int(node))
+
+    def test_free_riders_have_interests(self, dist):
+        for node in np.nonzero(dist.free_rider)[0]:
+            assert dist.interests[int(node)]
+
+    def test_interest_invariant(self, dist):
+        """Paper: a sharer's interests contain all classes of its content."""
+        for node in range(dist.n_peers):
+            assert dist.sharing_classes(node) <= dist.interests[node]
+
+    def test_docs_per_sharer_near_target(self, dist):
+        sharers = np.nonzero(~dist.free_rider)[0]
+        counts = [len(dist.index.docs_on(int(n))) for n in sharers]
+        assert np.mean(counts) == pytest.approx(8.0, rel=0.15)
+
+    def test_placement_respects_interest_clustering(self, dist):
+        """Every replica of a class-c doc sits on a peer interested in c."""
+        for doc in dist.index.all_documents():
+            for holder in dist.index.holders(doc.doc_id):
+                assert doc.class_id in dist.interests[holder]
+
+    def test_interest_counts_in_range(self, dist):
+        for interests in dist.interests:
+            assert 1 <= len(interests) <= 4
+
+    def test_free_rider_fraction(self, dist):
+        assert dist.free_rider.mean() == pytest.approx(0.2, abs=0.06)
+
+    def test_deterministic(self):
+        a = synthesize_content(small_params(), np.random.default_rng(7))
+        b = synthesize_content(small_params(), np.random.default_rng(7))
+        assert np.array_equal(a.free_rider, b.free_rider)
+        assert a.interests == b.interests
+        assert a.index.n_documents == b.index.n_documents
+        for doc_a in a.index.all_documents():
+            assert a.index.holders(doc_a.doc_id) == b.index.holders(doc_a.doc_id)
+
+    def test_all_classes_valid(self, dist):
+        for doc in dist.index.all_documents():
+            assert 0 <= doc.class_id < N_CLASSES
+
+    def test_next_doc_id_is_count(self, dist):
+        assert dist.next_doc_id == dist.index.n_documents
+
+    def test_all_free_riders_guard(self):
+        params = small_params(n_peers=10, free_rider_fraction=0.99)
+        dist = synthesize_content(params, np.random.default_rng(0))
+        assert not dist.free_rider.all()

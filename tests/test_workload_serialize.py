@@ -1,0 +1,121 @@
+"""Tests for trace serialization round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.workload.content import ContentIndex, Document
+from repro.workload.edonkey import EdonkeyParams, synthesize_content
+from repro.workload.generator import TraceParams, generate_trace
+from repro.workload.serialize import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.workload.trace import (
+    ContentChangeEvent,
+    JoinEvent,
+    LeaveEvent,
+    QueryEvent,
+    Trace,
+)
+
+
+def tiny_trace():
+    events = [
+        QueryEvent(time=0.5, node=1, terms=("a", "b"), target_doc=7),
+        ContentChangeEvent(time=0.6, node=2, doc_id=7, added=True),
+        LeaveEvent(time=1.0, node=3),
+        JoinEvent(time=2.0, node=3),
+    ]
+    return Trace(events=events, initially_live=np.ones(5, dtype=bool), duration=2.0)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        trace = tiny_trace()
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert len(rebuilt) == len(trace)
+        assert rebuilt.duration == trace.duration
+        for a, b in zip(trace.events, rebuilt.events):
+            assert type(a) is type(b)
+            assert a == b
+
+    def test_initially_live_preserved(self):
+        trace = tiny_trace()
+        trace.initially_live[2] = False
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert list(rebuilt.initially_live) == list(trace.initially_live)
+
+    def test_json_serialisable(self):
+        payload = trace_to_dict(tiny_trace())
+        json.dumps(payload)  # must not raise
+
+    def test_file_round_trip(self, tmp_path):
+        trace = tiny_trace()
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        rebuilt = load_trace(path)
+        assert rebuilt.events == trace.events
+
+    def test_unsupported_version(self):
+        payload = trace_to_dict(tiny_trace())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            trace_from_dict(payload)
+
+    def test_unknown_kind(self):
+        payload = trace_to_dict(tiny_trace())
+        payload["events"][0]["kind"] = "mystery"
+        with pytest.raises(ValueError, match="unknown event kind"):
+            trace_from_dict(payload)
+
+
+class TestDocumentEmbedding:
+    def test_documents_embedded_and_reregistered(self):
+        index = ContentIndex()
+        index.register_document(Document(doc_id=7, class_id=3, keywords=("x", "y")))
+        trace = tiny_trace()
+        payload = trace_to_dict(trace, index)
+        assert payload["documents"][0]["doc_id"] == 7
+
+        fresh = ContentIndex()
+        trace_from_dict(payload, fresh)
+        assert fresh.document(7).keywords == ("x", "y")
+
+    def test_existing_identical_document_tolerated(self):
+        index = ContentIndex()
+        doc = Document(doc_id=7, class_id=3, keywords=("x",))
+        index.register_document(doc)
+        payload = trace_to_dict(tiny_trace(), index)
+        trace_from_dict(payload, index)  # same doc already present: fine
+
+    def test_conflicting_document_rejected(self):
+        index = ContentIndex()
+        index.register_document(Document(doc_id=7, class_id=3, keywords=("x",)))
+        payload = trace_to_dict(tiny_trace(), index)
+        other = ContentIndex()
+        other.register_document(Document(doc_id=7, class_id=1, keywords=("z",)))
+        with pytest.raises(ValueError, match="conflicts"):
+            trace_from_dict(payload, other)
+
+
+class TestGeneratedTraceRoundTrip:
+    def test_full_synthetic_trace(self, tmp_path):
+        dist = synthesize_content(
+            EdonkeyParams(n_peers=150, avg_docs_per_peer=5.0),
+            np.random.default_rng(0),
+        )
+        trace = generate_trace(
+            dist, TraceParams(n_queries=200, n_joins=10, n_leaves=10),
+            np.random.default_rng(1),
+        )
+        path = tmp_path / "full.json"
+        save_trace(trace, path, dist.index)
+        rebuilt = load_trace(path, ContentIndex())
+        assert len(rebuilt) == len(trace)
+        assert rebuilt.n_queries == trace.n_queries
+        assert rebuilt.n_joins == trace.n_joins
+        assert [e.time for e in rebuilt.events] == [e.time for e in trace.events]

@@ -1,0 +1,78 @@
+"""Tests for workload statistics and interest-clustering measurements."""
+
+import numpy as np
+import pytest
+
+from repro.workload.edonkey import EdonkeyParams, synthesize_content
+from repro.workload.stats import compute_stats, interest_similarity
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return synthesize_content(
+        EdonkeyParams(n_peers=500, avg_docs_per_peer=10.0),
+        np.random.default_rng(0),
+    )
+
+
+@pytest.fixture(scope="module")
+def stats(dist):
+    return compute_stats(dist)
+
+
+class TestComputeStats:
+    def test_counts(self, stats, dist):
+        assert stats.n_peers == 500
+        assert stats.n_documents == dist.index.n_documents
+        assert 0 < stats.n_placed_documents <= stats.n_documents
+
+    def test_paper_statistics(self, stats):
+        assert stats.mean_copies == pytest.approx(1.28, abs=0.05)
+        assert stats.single_copy_fraction == pytest.approx(0.89, abs=0.03)
+        assert stats.free_rider_fraction == pytest.approx(0.2, abs=0.06)
+
+    def test_replica_histogram_consistent(self, stats):
+        assert sum(stats.replica_histogram) == stats.n_placed_documents
+        assert stats.replica_histogram[0] == pytest.approx(
+            stats.single_copy_fraction * stats.n_placed_documents, abs=1
+        )
+
+    def test_docs_per_sharer(self, stats):
+        assert stats.docs_per_sharer_mean == pytest.approx(10.0, rel=0.15)
+        assert stats.docs_per_sharer_median <= stats.docs_per_sharer_mean * 1.5
+
+    def test_keyword_budget_within_filter_design(self, stats):
+        # |K_p| must stay under the fixed filter's 1,000-keyword design point.
+        assert 0 < stats.keywords_per_sharer_mean
+        assert stats.max_keyword_set <= 1000
+
+    def test_check_paper_shape_passes(self, stats):
+        assert stats.check_paper_shape() == []
+
+    def test_check_paper_shape_flags_deviations(self, stats):
+        violations = stats.check_paper_shape(mean_copies_target=3.0)
+        assert violations and "mean copies" in violations[0]
+
+
+class TestInterestSimilarity:
+    def test_clustering_is_detectable(self, dist):
+        sims = interest_similarity(dist, np.random.default_rng(1))
+        # Peers sharing a content class have markedly more similar
+        # interests than random pairs (observation 4).
+        assert sims["same_class_jaccard"] > sims["random_pair_jaccard"]
+
+    def test_values_in_unit_interval(self, dist):
+        sims = interest_similarity(dist, np.random.default_rng(2))
+        for v in sims.values():
+            assert 0.0 <= v <= 1.0
+
+
+class TestEmptyDistribution:
+    def test_all_free_riders_edgecase(self):
+        dist = synthesize_content(
+            EdonkeyParams(n_peers=10, free_rider_fraction=0.95, avg_docs_per_peer=2.0),
+            np.random.default_rng(3),
+        )
+        stats = compute_stats(dist)
+        assert stats.n_peers == 10
+        assert 0.0 <= stats.free_rider_fraction <= 1.0

@@ -1,0 +1,220 @@
+"""Tests for trace events, interest statistics and the trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.edonkey import EdonkeyParams, synthesize_content
+from repro.workload.generator import TraceParams, _zipf_index, generate_trace
+from repro.workload.interests import (
+    CLASS_WEIGHTS,
+    N_CLASSES,
+    assign_interests,
+    class_node_counts,
+    interest_node_counts,
+    sample_classes,
+)
+from repro.workload.trace import (
+    ContentChangeEvent,
+    JoinEvent,
+    LeaveEvent,
+    QueryEvent,
+    Trace,
+)
+
+
+class TestInterests:
+    def test_sample_classes_distinct(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            classes = sample_classes(rng, 4)
+            assert len(set(classes.tolist())) == 4
+
+    def test_sample_too_many(self):
+        with pytest.raises(ValueError):
+            sample_classes(np.random.default_rng(0), N_CLASSES + 1)
+
+    def test_assign_interests_bounds(self):
+        rng = np.random.default_rng(1)
+        interests = assign_interests(100, np.zeros(100, dtype=bool), rng)
+        assert all(1 <= len(i) <= 4 for i in interests)
+
+    def test_assign_interests_mask_mismatch(self):
+        with pytest.raises(ValueError):
+            assign_interests(10, np.zeros(5, dtype=bool), np.random.default_rng(0))
+
+    def test_popular_classes_dominate(self):
+        rng = np.random.default_rng(2)
+        interests = assign_interests(3000, np.zeros(3000, dtype=bool), rng)
+        counts = interest_node_counts(interests)
+        assert counts[0] > counts[N_CLASSES - 1] * 3
+
+    def test_class_node_counts(self):
+        counts = class_node_counts([{0, 1}, {1}, set()], n_classes=3)
+        assert list(counts) == [1, 2, 0]
+
+    def test_interest_node_counts(self):
+        counts = interest_node_counts([{0}, {0, 2}], n_classes=3)
+        assert list(counts) == [2, 0, 1]
+
+    def test_weights_sum_to_one(self):
+        assert CLASS_WEIGHTS.sum() == pytest.approx(1.0)
+
+
+class TestTraceContainer:
+    def test_query_event_needs_terms(self):
+        with pytest.raises(ValueError):
+            QueryEvent(time=0.0, node=1, terms=(), target_doc=0)
+
+    def test_trace_rejects_unsorted(self):
+        events = [
+            QueryEvent(time=2.0, node=1, terms=("a",), target_doc=0),
+            QueryEvent(time=1.0, node=2, terms=("b",), target_doc=1),
+        ]
+        with pytest.raises(ValueError):
+            Trace(events=events, initially_live=np.ones(3, dtype=bool), duration=2.0)
+
+    def test_trace_counters(self):
+        events = [
+            QueryEvent(time=0.5, node=1, terms=("a",), target_doc=0),
+            ContentChangeEvent(time=0.6, node=1, doc_id=5, added=True),
+            LeaveEvent(time=1.0, node=2),
+            JoinEvent(time=2.0, node=2),
+        ]
+        trace = Trace(events=events, initially_live=np.ones(3, dtype=bool), duration=2.0)
+        assert trace.n_queries == 1
+        assert trace.n_content_changes == 1
+        assert trace.n_joins == 1
+        assert trace.n_leaves == 1
+        assert len(trace) == 4
+        assert len(trace.queries()) == 1
+
+
+class TestZipfIndex:
+    def test_single_element(self):
+        assert _zipf_index(np.random.default_rng(0), 1, 0.7) == 0
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert 0 <= _zipf_index(rng, 10, 0.7) < 10
+
+    def test_skew(self):
+        rng = np.random.default_rng(0)
+        draws = [_zipf_index(rng, 100, 1.2) for _ in range(2000)]
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 90)
+        assert head > 5 * max(tail, 1)
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return synthesize_content(
+        EdonkeyParams(n_peers=300, avg_docs_per_peer=6.0),
+        np.random.default_rng(3),
+    )
+
+
+@pytest.fixture(scope="module")
+def trace(dist):
+    params = TraceParams(
+        n_queries=600, arrival_rate=8.0, n_joins=40, n_leaves=40
+    )
+    return generate_trace(dist, params, np.random.default_rng(4))
+
+
+class TestGenerateTrace:
+    def test_event_counts_near_targets(self, trace):
+        assert trace.n_queries >= 570  # a few query slots may be dropped
+        assert trace.n_content_changes >= 0.08 * trace.n_queries
+        assert 0 < trace.n_leaves <= 40
+        assert trace.n_joins <= trace.n_leaves  # joins recycle departed nodes
+
+    def test_sorted_times(self, trace):
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+
+    def test_poisson_rate(self, trace):
+        qtimes = [q.time for q in trace.queries()]
+        rate = len(qtimes) / (qtimes[-1] - qtimes[0])
+        assert rate == pytest.approx(8.0, rel=0.2)
+
+    def test_queries_target_interesting_docs(self, trace, dist):
+        for q in trace.queries()[:200]:
+            doc = dist.index.document(q.target_doc)
+            assert doc.class_id in dist.interests[q.node]
+
+    def test_query_terms_come_from_target_doc(self, trace, dist):
+        for q in trace.queries()[:200]:
+            doc = dist.index.document(q.target_doc)
+            assert set(q.terms) <= set(doc.keywords)
+            assert 1 <= len(q.terms) <= 3
+
+    def test_live_holder_guarantee(self, trace, dist):
+        """Replaying liveness+content: every query has a live matching holder."""
+        live = np.ones(dist.n_peers, dtype=bool)
+        holders = {
+            d.doc_id: set(dist.index.holders(d.doc_id))
+            for d in dist.index.all_documents()
+        }
+        for event in trace.events:
+            if isinstance(event, JoinEvent):
+                live[event.node] = True
+            elif isinstance(event, LeaveEvent):
+                live[event.node] = False
+            elif isinstance(event, ContentChangeEvent):
+                hs = holders.setdefault(event.doc_id, set())
+                if event.added:
+                    hs.add(event.node)
+                else:
+                    hs.discard(event.node)
+            else:
+                assert any(
+                    h != event.node and live[h]
+                    for h in holders.get(event.target_doc, ())
+                ), f"query at t={event.time} has no live holder"
+
+    def test_churn_consistency(self, trace):
+        """No double-joins or double-leaves."""
+        live = {}
+        for event in trace.events:
+            if isinstance(event, JoinEvent):
+                assert live.get(event.node, True) is False
+                live[event.node] = True
+            elif isinstance(event, LeaveEvent):
+                assert live.get(event.node, True) is True
+                live[event.node] = False
+
+    def test_content_changes_reference_known_docs(self, trace, dist):
+        for event in trace.events:
+            if isinstance(event, ContentChangeEvent):
+                dist.index.document(event.doc_id)  # must not raise
+
+    def test_deterministic(self):
+        # generate_trace registers new documents (content additions) on the
+        # shared index, so determinism is checked on two fresh distributions.
+        params = TraceParams(n_queries=100, n_joins=5, n_leaves=5)
+        traces = []
+        for _ in range(2):
+            d = synthesize_content(
+                EdonkeyParams(n_peers=200, avg_docs_per_peer=5.0),
+                np.random.default_rng(8),
+            )
+            traces.append(generate_trace(d, params, np.random.default_rng(9)))
+        a, b = traces
+        assert len(a) == len(b)
+        assert [e.time for e in a.events] == [e.time for e in b.events]
+        assert [type(e).__name__ for e in a.events] == [
+            type(e).__name__ for e in b.events
+        ]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TraceParams(n_queries=0)
+        with pytest.raises(ValueError):
+            TraceParams(arrival_rate=0)
+        with pytest.raises(ValueError):
+            TraceParams(content_change_fraction=1.5)
+        with pytest.raises(ValueError):
+            TraceParams(n_joins=-1)
+        with pytest.raises(ValueError):
+            TraceParams(max_terms=0)

@@ -6,7 +6,8 @@ vectorised kernels that make paper-scale replay tractable:
 * hop-bounded Bellman-Ford flood computation over a live overlay;
 * all-sources Bloom match through the packed filter matrix;
 * hierarchical latency batch queries;
-* trace synthesis throughput.
+* trace synthesis throughput;
+* engine event dispatch, unobserved vs observed (repro.obs overhead).
 """
 
 import numpy as np
@@ -19,7 +20,9 @@ from repro.network.latency import LatencyModel
 from repro.network.overlay import Overlay
 from repro.network.topology import random_topology
 from repro.network.transit_stub import TransitStubNetwork
+from repro.obs.profile import Profiler
 from repro.search.flooding import flood_reach
+from repro.sim.engine import SimulationEngine
 from repro.workload.edonkey import EdonkeyParams, synthesize_content
 
 
@@ -59,6 +62,36 @@ def bench_latency_pairwise_10k(benchmark):
     vs = rng.choice(nodes, size=10_000)
     out = benchmark(model.pairwise_ms, us, vs)
     assert np.all(np.isfinite(out))
+
+
+def _dispatch_events(n_events: int, observer=None) -> int:
+    engine = SimulationEngine()
+    if observer is not None:
+        engine.set_observer(observer)
+    count = 0
+
+    def tick() -> None:
+        nonlocal count
+        count += 1
+
+    for i in range(n_events):
+        engine.schedule_at(float(i), tick, name="tick")
+    engine.run()
+    return count
+
+
+def bench_engine_dispatch_50k(benchmark):
+    """Baseline dispatch rate with no observer installed (the hot path
+    every experiment pays; the repro.obs hooks must keep it within 3%)."""
+    count = benchmark(_dispatch_events, 50_000)
+    assert count == 50_000
+
+
+def bench_engine_dispatch_50k_profiled(benchmark):
+    """Dispatch rate with the Profiler observer installed, for comparison
+    against ``bench_engine_dispatch_50k`` (the enabled-observability cost)."""
+    count = benchmark(_dispatch_events, 50_000, observer=Profiler(warmup_s=25_000.0))
+    assert count == 50_000
 
 
 def bench_content_synthesis_1k(benchmark):

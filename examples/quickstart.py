@@ -7,18 +7,31 @@ through what happened: the local ads-cache lookup, the one-hop content
 confirmation, and the resulting response time -- the paper's core idea in
 ~60 lines of driver code.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--trace trace.jsonl]
+
+With ``--trace``, ad deliveries and the query span are recorded through
+``repro.obs`` and written as JSONL (see docs/OBSERVABILITY.md).
 """
+
+import argparse
 
 import numpy as np
 
 from repro.asap import AsapParams, AsapSearch
 from repro.network import Overlay, build_topology
+from repro.obs import Tracer
 from repro.sim import BandwidthLedger, SimulationEngine
 from repro.workload import EdonkeyParams, synthesize_content
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a structured JSONL trace of the run to PATH",
+    )
+    args = parser.parse_args(argv)
+
     rng = np.random.default_rng(7)
     n_peers = 200
 
@@ -43,6 +56,10 @@ def main() -> None:
         interests=dist.interests,
         params=AsapParams(forwarder="rw", budget_unit=150),
     )
+    tracer = None
+    if args.trace:
+        tracer = Tracer()
+        asap.set_tracer(tracer)
 
     # 4. Warm-up: every sharer advertises; every node bootstraps its cache.
     engine = SimulationEngine()
@@ -79,6 +96,13 @@ def main() -> None:
         print("search failed (no matching ad anywhere within reach)")
 
     print(f"\ntotal warm-up + search bandwidth: {ledger.total_bytes():,.0f} bytes")
+
+    if tracer is not None:
+        tracer.dump(args.trace)
+        by_cat = ", ".join(
+            f"{cat}={n}" for cat, n in sorted(tracer.counts_by_category().items())
+        )
+        print(f"trace: {len(tracer.records)} records ({by_cat}) -> {args.trace}")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.asap.ads import Ad
 from repro.network.overlay import Overlay
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.search.base import MessageSizes
 from repro.search.flooding import flood_reach
 from repro.sim.metrics import BandwidthLedger
@@ -65,6 +66,7 @@ class AdForwarder(abc.ABC):
         self.ledger = ledger
         self.sizes = sizes
         self.rng = rng
+        self.tracer: Tracer = NULL_TRACER
 
     @abc.abstractmethod
     def deliver(
@@ -79,6 +81,20 @@ class AdForwarder(abc.ABC):
     def default_budget(self, ad: Ad) -> int:
         """Total message budget for one delivery of ``ad``."""
         return max(1, len(ad.topics))  # overridden by budgeted forwarders
+
+    def _trace_delivery(self, ad: Ad, now: float, report: "DeliveryReport") -> None:
+        """Emit one ad-lifecycle trace event per delivery (when tracing)."""
+        self.tracer.event(
+            "ad",
+            f"deliver.{getattr(self, 'kind', 'base')}",
+            now,
+            source=int(ad.source),
+            ad_type=ad.ad_type.value,
+            topics=len(ad.topics),
+            visited=len(report.visited),
+            messages=report.messages,
+            bytes=report.bytes,
+        )
 
     def _record(self, ad: Ad, buckets: Dict[int, float], n_messages: int) -> None:
         for second, nbytes in buckets.items():
@@ -115,7 +131,12 @@ class FloodAdForwarder(AdForwarder):
         total_bytes = float(n_messages * ad_size)
         if n_messages:
             self._record(ad, {int(now): total_bytes}, n_messages)
-        return DeliveryReport(visited=visited, messages=n_messages, bytes=total_bytes)
+        report = DeliveryReport(
+            visited=visited, messages=n_messages, bytes=total_bytes
+        )
+        if self.tracer.enabled:
+            self._trace_delivery(ad, now, report)
+        return report
 
 
 class _WalkForwarderBase(AdForwarder):
@@ -179,11 +200,14 @@ class RandomWalkAdForwarder(_WalkForwarderBase):
                 buckets[int(now + elapsed_ms / 1000.0)] += ad_size
         visited.discard(ad.source)
         self._record(ad, buckets, n_messages)
-        return DeliveryReport(
+        report = DeliveryReport(
             visited=frozenset(visited),
             messages=n_messages,
             bytes=float(n_messages * ad_size),
         )
+        if self.tracer.enabled:
+            self._trace_delivery(ad, now, report)
+        return report
 
 
 class GsaAdForwarder(_WalkForwarderBase):
@@ -244,11 +268,14 @@ class GsaAdForwarder(_WalkForwarderBase):
                     buckets[int(now + elapsed_ms / 1000.0)] += n_push * ad_size
         visited.discard(ad.source)
         self._record(ad, buckets, n_messages)
-        return DeliveryReport(
+        report = DeliveryReport(
             visited=frozenset(visited),
             messages=n_messages,
             bytes=float(n_messages * ad_size),
         )
+        if self.tracer.enabled:
+            self._trace_delivery(ad, now, report)
+        return report
 
 
 def make_forwarder(

@@ -32,6 +32,23 @@ class CacheDiagnostics:
     stale_source_entries: int  # entries whose source is currently offline
     mean_source_coverage: float  # per sharer: fraction of interested nodes caching it
 
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form (symmetric with :meth:`format_table`).
+
+        Consumed by the metrics exporter and tests; keys are stable and
+        match the dataclass field names.
+        """
+        return {
+            "n_nodes": self.n_nodes,
+            "total_entries": self.total_entries,
+            "mean_entries": self.mean_entries,
+            "median_entries": self.median_entries,
+            "max_entries": self.max_entries,
+            "behind_entries": self.behind_entries,
+            "stale_source_entries": self.stale_source_entries,
+            "mean_source_coverage": self.mean_source_coverage,
+        }
+
     def format_table(self) -> str:
         lines = ["ASAP cache diagnostics"]
         lines.append(f"  nodes                    {self.n_nodes}")

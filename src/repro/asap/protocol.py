@@ -144,6 +144,11 @@ class AsapSearch(SearchAlgorithm):
         self._timers: Dict[int, PeriodicTimer] = {}
         self._advertised: Set[int] = set()  # sources that ever sent a full ad
 
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to the protocol and its ad forwarder."""
+        super().set_tracer(tracer)
+        self.forwarder.tracer = tracer
+
     # ------------------------------------------------------------- delivery
     def _disseminate(
         self, ad: Ad, now: float, budget: Optional[int] = None
@@ -183,6 +188,10 @@ class AsapSearch(SearchAlgorithm):
         entry = repo.entry(source)
         if entry is None:
             return
+        if self.tracer.enabled:
+            self.tracer.event(
+                "ad", "repair", now, node=int(node), source=int(source)
+            )
         self.ledger.record(
             now, TrafficCategory.ADS_REQUEST, self.sizes.ads_request, messages=1
         )
@@ -428,10 +437,22 @@ class AsapSearch(SearchAlgorithm):
                 reply_bytes,
                 messages=1,
             )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "ad",
+                "ads_request",
+                now,
+                node=int(node),
+                scope="query" if positions is not None else "bootstrap",
+                neighbors=len(neighbors),
+                new_sources=len(new_sources),
+                messages=n_messages,
+                cost_bytes=total_bytes,
+            )
         return new_sources, n_messages, total_bytes
 
     # ---------------------------------------------------------------- search
-    def search(
+    def _search_impl(
         self, requester: int, terms: Sequence[str], now: float
     ) -> SearchOutcome:
         if self._local_hit(requester, terms):

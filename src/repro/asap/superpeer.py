@@ -150,13 +150,13 @@ class SuperPeerAsapSearch(AsapSearch):
                 self._start_refresh_timer(node, phase_base=start + duration)
 
     # ---------------------------------------------------------------- search
-    def search(
+    def _search_impl(
         self, requester: int, terms: Sequence[str], now: float
     ) -> SearchOutcome:
         if self._local_hit(requester, terms):
             return self._local_outcome()
         if self._is_super[requester]:
-            return super().search(requester, terms, now)
+            return super()._search_impl(requester, terms, now)
 
         # Leaf: route the request through its super peer (one extra hop
         # each way); the super peer runs the normal ASAP flow.
@@ -165,7 +165,7 @@ class SuperPeerAsapSearch(AsapSearch):
         self.ledger.record(
             now, TrafficCategory.CONFIRMATION, self.sizes.query, messages=1
         )
-        inner = super().search(sp, terms, now)
+        inner = super()._search_impl(sp, terms, now)
         self.ledger.record(
             now, TrafficCategory.CONFIRMATION, self.sizes.query_response, messages=1
         )

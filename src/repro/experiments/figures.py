@@ -61,6 +61,8 @@ class ExperimentScale:
     use_physical_network: bool = True
     algorithms: Tuple[str, ...] = ALGORITHMS
     topologies: Tuple[str, ...] = TOPOLOGIES
+    # Attach a RunProfile to every grid cell's RunResult (repro.obs).
+    profile: bool = False
 
     @staticmethod
     def paper() -> "ExperimentScale":
@@ -106,7 +108,10 @@ class ExperimentGrid:
         key = (algorithm, topology)
         cached = self._results.get(key)
         if cached is None:
-            cached = run_experiment(self.scale.config(algorithm, topology))
+            cached = run_experiment(
+                self.scale.config(algorithm, topology),
+                profile=self.scale.profile,
+            )
             self._results[key] = cached
         return cached
 

@@ -105,6 +105,23 @@ def build_report(scale: ExperimentScale, progress=None) -> str:
         fig7.patch_refresh_fraction > fig7.full_ad_fraction,
     )
     sections += ["## Shape checks", ""] + checks + [""]
+
+    if scale.profile:
+        log("run profiles")
+        sections += ["## Run profiles", ""]
+        for algo in scale.algorithms:
+            for topo in scale.topologies:
+                result = grid.result(algo, topo)
+                if result.profile is None:
+                    continue
+                sections += [
+                    f"### {result.algorithm} / {topo}",
+                    "",
+                    "```",
+                    result.profile.format_table(),
+                    "```",
+                    "",
+                ]
     return "\n".join(sections)
 
 
@@ -114,10 +131,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--queries", type=int, default=800)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile every run and append per-cell profiles to the report",
+    )
     args = parser.parse_args(argv)
 
     scale = ExperimentScale(
-        n_peers=args.peers, n_queries=args.queries, seed=args.seed
+        n_peers=args.peers,
+        n_queries=args.queries,
+        seed=args.seed,
+        profile=args.profile,
     )
     start = time.time()
     report = build_report(

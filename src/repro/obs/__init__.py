@@ -1,0 +1,52 @@
+"""Observability for the simulation stack: tracing, profiling, metrics.
+
+Three layers, all opt-in and zero-cost when disabled:
+
+* :mod:`repro.obs.trace`   -- structured event/span tracing to JSONL;
+* :mod:`repro.obs.profile` -- per-subsystem / per-phase run accounting,
+  attached to :class:`repro.simulation.results.RunResult` as a
+  :class:`RunProfile`;
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms exported as
+  JSON and Prometheus text via ``python -m repro.obs.report``.
+"""
+
+from repro.obs.metrics import (
+    CounterMetric,
+    DEFAULT_BUCKETS,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    diff_flat,
+    flatten,
+)
+from repro.obs.profile import PhaseStats, Profiler, RunProfile, subsystem_of
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceRecord,
+    Tracer,
+    read_trace,
+    read_trace_lines,
+)
+
+__all__ = [
+    "CounterMetric",
+    "DEFAULT_BUCKETS",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseStats",
+    "Profiler",
+    "RunProfile",
+    "Span",
+    "TraceRecord",
+    "Tracer",
+    "diff_flat",
+    "flatten",
+    "read_trace",
+    "read_trace_lines",
+    "subsystem_of",
+]

@@ -1,0 +1,186 @@
+"""Run profiling: wall-clock and event-count accounting per subsystem.
+
+The profiler is an **engine observer**: :class:`repro.sim.engine.
+SimulationEngine` calls ``event_begin``/``event_end`` around every
+dispatched event when an observer is installed (and pays a single branch
+when none is).  Each dispatch is attributed to
+
+* a **subsystem**, derived from the event's scheduling name with trailing
+  per-node suffixes stripped (``full-ad-123`` -> ``full-ad``,
+  ``refresh-7`` -> ``refresh``, ``trace`` -> ``trace``); and
+* a **phase**: ``warmup`` when the event fires before the configured
+  warm-up boundary, ``measurement`` after (mirroring how the paper
+  excludes the warm-up window from its metrics).
+
+``finish()`` freezes the accumulated accounting into a :class:`RunProfile`
+-- a plain-data summary attached to ``RunResult`` and renderable as a
+table or a dict for the metrics exporter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.obs.trace import NULL_TRACER, Tracer
+
+__all__ = ["PhaseStats", "Profiler", "RunProfile", "subsystem_of"]
+
+_DIGITS = "0123456789"
+
+
+def subsystem_of(name: str) -> str:
+    """Map an event's scheduling name to its subsystem label.
+
+    Strips one trailing ``-<digits>`` node suffix; empty names collapse to
+    ``"unnamed"``.
+    """
+    if not name:
+        return "unnamed"
+    stripped = name.rstrip(_DIGITS)
+    if stripped != name and stripped.endswith("-"):
+        return stripped[:-1]
+    return name
+
+
+@dataclass
+class PhaseStats:
+    """Event count and wall-clock seconds attributed to one bucket."""
+
+    events: int = 0
+    wall_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"events": self.events, "wall_s": self.wall_s}
+
+
+@dataclass
+class RunProfile:
+    """Frozen per-run profiling summary.
+
+    ``subsystems`` and ``phases`` map bucket name to :class:`PhaseStats`;
+    ``engine_events`` / ``engine_pending_live`` snapshot the engine at
+    ``finish()`` time; ``wall_s`` is total wall-clock spent inside event
+    callbacks (the engine's own heap work is excluded -- it is the
+    difference to the run's end-to-end time).
+    """
+
+    subsystems: Dict[str, PhaseStats] = field(default_factory=dict)
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    events: int = 0
+    wall_s: float = 0.0
+    engine_events: int = 0
+    engine_pending_live: int = 0
+    sim_end_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "wall_s": self.wall_s,
+            "engine_events": self.engine_events,
+            "engine_pending_live": self.engine_pending_live,
+            "sim_end_s": self.sim_end_s,
+            "subsystems": {k: v.to_dict() for k, v in sorted(self.subsystems.items())},
+            "phases": {k: v.to_dict() for k, v in sorted(self.phases.items())},
+        }
+
+    def format_table(self) -> str:
+        lines = ["run profile"]
+        lines.append(
+            f"  dispatched {self.events} events in {self.wall_s:.3f}s wall "
+            f"(sim clock ended at {self.sim_end_s:.1f}s)"
+        )
+        lines.append(
+            f"  engine: {self.engine_events} processed, "
+            f"{self.engine_pending_live} live pending at finish"
+        )
+        for title, buckets in (("phase", self.phases), ("subsystem", self.subsystems)):
+            if not buckets:
+                continue
+            lines.append(f"  by {title}:")
+            width = max(len(k) for k in buckets)
+            for name, stats in sorted(
+                buckets.items(), key=lambda kv: -kv[1].wall_s
+            ):
+                share = stats.wall_s / self.wall_s if self.wall_s > 0 else 0.0
+                lines.append(
+                    f"    {name:<{width}}  {stats.events:>9} events  "
+                    f"{stats.wall_s:>8.3f}s  {share:>5.1%}"
+                )
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Engine observer accumulating per-subsystem/per-phase dispatch costs.
+
+    Optionally mirrors each dispatch into a tracer (``trace_dispatch``);
+    that is off by default because engine-event records dominate trace
+    volume at scale.
+    """
+
+    def __init__(
+        self,
+        warmup_s: float = 0.0,
+        tracer: Tracer = NULL_TRACER,
+        trace_dispatch: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.warmup_s = warmup_s
+        self.tracer = tracer
+        self.trace_dispatch = trace_dispatch and tracer.enabled
+        self._clock = clock
+        self._subsystems: Dict[str, PhaseStats] = {}
+        self._phases: Dict[str, PhaseStats] = {
+            "warmup": PhaseStats(),
+            "measurement": PhaseStats(),
+        }
+        self._events = 0
+        self._wall = 0.0
+        self._t0 = 0.0
+        self._current: Optional[str] = None
+
+    # -------------------------------------------------- engine observer hooks
+    def event_begin(self, event) -> None:
+        self._current = event.name
+        self._t0 = self._clock()
+
+    def event_end(self, event) -> None:
+        dt = self._clock() - self._t0
+        self._events += 1
+        self._wall += dt
+        label = subsystem_of(event.name)
+        sub = self._subsystems.get(label)
+        if sub is None:
+            sub = self._subsystems[label] = PhaseStats()
+        sub.events += 1
+        sub.wall_s += dt
+        phase = self._phases[
+            "warmup" if event.time < self.warmup_s else "measurement"
+        ]
+        phase.events += 1
+        phase.wall_s += dt
+        if self.trace_dispatch:
+            self.tracer.event(
+                "engine",
+                "dispatch",
+                event.time,
+                event_name=event.name,
+                seq=event.seq,
+                dur_s=dt,
+            )
+
+    # ------------------------------------------------------------------ final
+    def finish(self, engine=None) -> RunProfile:
+        """Freeze the accounting into a :class:`RunProfile`."""
+        profile = RunProfile(
+            subsystems=dict(self._subsystems),
+            phases={k: v for k, v in self._phases.items() if v.events},
+            events=self._events,
+            wall_s=self._wall,
+        )
+        if engine is not None:
+            profile.engine_events = engine.events_processed
+            profile.engine_pending_live = engine.pending_live
+            profile.sim_end_s = engine.now
+        return profile

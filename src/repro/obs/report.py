@@ -1,0 +1,286 @@
+"""Metrics-export CLI: snapshot a run into JSON + Prometheus reports.
+
+``python -m repro.obs.report run`` executes one configured trace replay
+with profiling (and optionally tracing) enabled, then snapshots the
+bandwidth ledger, ASAP cache diagnostics, search outcomes and the run
+profile into a :class:`~repro.obs.metrics.MetricsRegistry`, written as
+
+* ``metrics.json`` -- the registry's JSON form (machine-readable, and the
+  input format of ``diff``);
+* ``metrics.prom`` -- Prometheus text exposition format (scrapeable /
+  pushable to a gateway);
+* ``trace.jsonl``  -- the structured trace, when ``--trace`` is given.
+
+``python -m repro.obs.report diff a.json b.json`` compares two JSON
+reports series-by-series -- the quick answer to "what changed between
+these two runs?".
+
+Examples::
+
+    python -m repro.obs.report run --algorithm asap_rw --peers 120 \
+        --queries 60 --out obs-out --trace
+    python -m repro.obs.report diff obs-out/metrics.json other/metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry, diff_flat, flatten
+from repro.obs.trace import Tracer
+
+__all__ = ["build_registry", "main", "render_diff"]
+
+#: Response-time buckets in milliseconds (spans LAN RTTs to multi-ring
+#: flood timeouts at the scales the reproduction runs).
+_RESPONSE_TIME_BUCKETS_MS = (
+    50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+def build_registry(result, run_labels: Optional[dict] = None) -> MetricsRegistry:
+    """Snapshot a :class:`~repro.simulation.results.RunResult` into metrics.
+
+    Includes ledger category totals (bytes and messages), per-query
+    outcome statistics, the measurement-window load summary, and -- when
+    present on the result -- the run profile's per-phase/per-subsystem
+    accounting and the ASAP cache diagnostics.
+    """
+    labels = dict(run_labels or {})
+    labels.setdefault("algorithm", result.algorithm)
+    labels.setdefault("topology", result.topology)
+    reg = MetricsRegistry()
+
+    info = reg.gauge(
+        "repro_run_info",
+        "Constant 1; labels identify the run.",
+        n_peers=str(result.n_peers),
+        **labels,
+    )
+    info.set(1)
+
+    # --- ledger ----------------------------------------------------------
+    for category, nbytes in sorted(
+        result.ledger.category_totals().items(), key=lambda kv: kv[0].value
+    ):
+        reg.counter(
+            "repro_ledger_bytes_total",
+            "Bytes transmitted per traffic category over the whole run.",
+            category=category.value,
+        ).inc(nbytes)
+        reg.counter(
+            "repro_ledger_messages_total",
+            "Messages transmitted per traffic category over the whole run.",
+            category=category.value,
+        ).inc(result.ledger.total_messages([category]))
+
+    for category, nbytes in sorted(
+        result.category_bytes_in_window().items(), key=lambda kv: kv[0].value
+    ):
+        reg.counter(
+            "repro_window_load_bytes_total",
+            "System-load bytes per category inside the measurement window.",
+            category=category.value,
+        ).inc(nbytes)
+
+    # --- queries ---------------------------------------------------------
+    reg.counter(
+        "repro_queries_total", "Search requests replayed.", **labels
+    ).inc(result.n_queries)
+    successes = [o for o in result.outcomes if o.success]
+    reg.counter(
+        "repro_queries_succeeded_total", "Search requests with >= 1 result.", **labels
+    ).inc(len(successes))
+    reg.gauge(
+        "repro_query_success_rate", "Fraction of successful searches.", **labels
+    ).set(result.success_rate())
+    reg.gauge(
+        "repro_query_avg_cost_bytes", "Mean per-search bandwidth.", **labels
+    ).set(result.avg_cost_bytes())
+    hist = reg.histogram(
+        "repro_query_response_time_ms",
+        "Response time of successful searches (milliseconds).",
+        buckets=_RESPONSE_TIME_BUCKETS_MS,
+        **labels,
+    )
+    for o in successes:
+        hist.observe(o.response_time_ms)
+
+    # --- system load -----------------------------------------------------
+    load = result.load_summary()
+    for field_name in ("mean", "std", "peak"):
+        reg.gauge(
+            "repro_load_bytes_per_node_per_second",
+            "Measurement-window system load (paper Section V-B).",
+            stat=field_name,
+            **labels,
+        ).set(getattr(load, field_name))
+
+    # --- run profile -----------------------------------------------------
+    if result.profile is not None:
+        p = result.profile
+        reg.counter(
+            "repro_profile_dispatched_events_total",
+            "Events dispatched by the simulation engine.",
+            **labels,
+        ).inc(p.events)
+        reg.gauge(
+            "repro_profile_wall_seconds",
+            "Wall-clock seconds spent inside event callbacks.",
+            **labels,
+        ).set(p.wall_s)
+        reg.gauge(
+            "repro_engine_pending_live",
+            "Live (non-cancelled) events still queued at run end.",
+            **labels,
+        ).set(p.engine_pending_live)
+        for phase, stats in sorted(p.phases.items()):
+            reg.counter(
+                "repro_profile_phase_events_total",
+                "Dispatched events per trace phase.",
+                phase=phase,
+            ).inc(stats.events)
+            reg.gauge(
+                "repro_profile_phase_wall_seconds",
+                "Wall-clock seconds per trace phase.",
+                phase=phase,
+            ).set(stats.wall_s)
+        for subsystem, stats in sorted(p.subsystems.items()):
+            reg.counter(
+                "repro_profile_subsystem_events_total",
+                "Dispatched events per subsystem (event-name family).",
+                subsystem=subsystem,
+            ).inc(stats.events)
+            reg.gauge(
+                "repro_profile_subsystem_wall_seconds",
+                "Wall-clock seconds per subsystem.",
+                subsystem=subsystem,
+            ).set(stats.wall_s)
+
+    # --- ASAP cache diagnostics -----------------------------------------
+    if result.cache_diagnostics is not None:
+        for key, value in result.cache_diagnostics.to_dict().items():
+            reg.gauge(
+                "repro_asap_cache_" + key,
+                "ASAP ads-cache diagnostic (see repro.asap.diagnostics).",
+            ).set(value)
+
+    return reg
+
+
+def render_diff(a: dict, b: dict, label_a: str = "a", label_b: str = "b") -> str:
+    """Human-readable series-by-series diff of two JSON reports."""
+    rows = diff_flat(flatten(a), flatten(b))
+    if not rows:
+        return "reports are identical"
+    name_w = max(len(r[0]) for r in rows)
+    lines = [f"{'series':<{name_w}}  {label_a:>14}  {label_b:>14}  {'delta':>14}"]
+    for series, va, vb in rows:
+        sa = "-" if va is None else f"{va:g}"
+        sb = "-" if vb is None else f"{vb:g}"
+        delta = "-" if va is None or vb is None else f"{vb - va:+g}"
+        lines.append(f"{series:<{name_w}}  {sa:>14}  {sb:>14}  {delta:>14}")
+    return "\n".join(lines)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Imported lazily: the diff subcommand must work without the heavy
+    # simulation stack (numpy/scipy) ever loading.
+    from repro.simulation.config import scaled_config
+    from repro.simulation.runner import run_experiment
+
+    config = scaled_config(
+        args.algorithm,
+        args.topology,
+        n_peers=args.peers,
+        n_queries=args.queries,
+        seed=args.seed,
+        use_physical_network=not args.no_physical_network,
+    )
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    tracer = None
+    trace_path = out_dir / "trace.jsonl"
+    stream = None
+    if args.trace:
+        stream = io.open(trace_path, "w")
+        tracer = Tracer(stream=stream, keep=False)
+    try:
+        result = run_experiment(
+            config,
+            tracer=tracer,
+            profile=True,
+            collect_diagnostics=True,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    finally:
+        if stream is not None:
+            stream.close()
+
+    registry = build_registry(result, run_labels={"seed": str(args.seed)})
+    json_path = out_dir / "metrics.json"
+    prom_path = out_dir / "metrics.prom"
+    json_path.write_text(registry.to_json() + "\n")
+    prom_path.write_text(registry.to_prometheus())
+
+    print(f"wrote {json_path}", file=sys.stderr)
+    print(f"wrote {prom_path}", file=sys.stderr)
+    if args.trace:
+        print(f"wrote {trace_path}", file=sys.stderr)
+    summary = result.summarize()
+    print(
+        f"{summary.algorithm}/{summary.topology}: "
+        f"success={summary.success_rate:.1%} "
+        f"load={summary.load_mean_bpns:.1f} B/node/s"
+    )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    a = json.loads(Path(args.a).read_text())
+    b = json.loads(Path(args.b).read_text())
+    print(render_diff(a, b, label_a=Path(args.a).stem, label_b=Path(args.b).stem))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment and export metrics")
+    run_p.add_argument("--algorithm", default="asap_rw")
+    run_p.add_argument("--topology", default="crawled")
+    run_p.add_argument("--peers", type=int, default=120)
+    run_p.add_argument("--queries", type=int, default=60)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--out", default="obs-report")
+    run_p.add_argument(
+        "--trace", action="store_true", help="also write trace.jsonl"
+    )
+    run_p.add_argument(
+        "--no-physical-network",
+        action="store_true",
+        help="skip the transit-stub substrate (faster smoke runs)",
+    )
+    run_p.set_defaults(func=_cmd_run)
+
+    diff_p = sub.add_parser("diff", help="diff two metrics.json reports")
+    diff_p.add_argument("a")
+    diff_p.add_argument("b")
+    diff_p.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,306 @@
+"""Structured event tracing for the simulation stack.
+
+A :class:`Tracer` collects typed trace records -- point **events** and
+nested **spans** -- from instrumented subsystems (engine dispatch, ad
+delivery, query execution, churn) and serialises them as JSONL, one record
+per line.  The design goals, in order:
+
+1. **Zero cost when disabled.**  Every instrumentation site guards on
+   ``tracer.enabled`` (a plain attribute, no property indirection) before
+   building any record, so the disabled path is one attribute load and one
+   branch.  :data:`NULL_TRACER` is the shared disabled singleton every
+   component starts with.
+2. **Deterministic structure.**  Record ids are a simple counter and span
+   nesting is an explicit ``parent``/``depth`` chain, so under the engine's
+   deterministic ``(time, seq)`` event ordering two runs of the same seed
+   produce structurally identical traces (wall-clock durations differ, the
+   tree does not).
+3. **Streamable.**  Records can be mirrored to a file object as they are
+   produced (``stream=...``), so multi-minute runs need not hold the trace
+   in memory (``keep=False`` drops the in-memory copy).
+
+Record schema (one JSON object per line)::
+
+    {"kind": "event"|"span", "cat": str, "name": str, "t": float,
+     "id": int, "parent": int|null, "depth": int,
+     "dur_s": float|null,   # wall-clock duration, spans only
+     "attrs": {...}}        # site-specific annotations
+
+``t`` is simulation time in seconds; ``dur_s`` is host wall-clock time
+spent inside the span (profiling signal, not simulated latency).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, TextIO, Union
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceRecord",
+    "Tracer",
+    "read_trace",
+    "read_trace_lines",
+]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace record (a point event or a completed span)."""
+
+    kind: str  # "event" | "span"
+    category: str  # engine | ad | query | churn | ...
+    name: str
+    t: float  # simulation time (seconds) at record start
+    id: int
+    parent: Optional[int]  # enclosing span id, None at top level
+    depth: int  # nesting depth (0 = top level)
+    dur_s: Optional[float] = None  # wall-clock duration (spans only)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "cat": self.category,
+                "name": self.name,
+                "t": self.t,
+                "id": self.id,
+                "parent": self.parent,
+                "depth": self.depth,
+                "dur_s": self.dur_s,
+                "attrs": self.attrs,
+            },
+            separators=(",", ":"),
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "TraceRecord":
+        d = json.loads(line)
+        return TraceRecord(
+            kind=d["kind"],
+            category=d["cat"],
+            name=d["name"],
+            t=d["t"],
+            id=d["id"],
+            parent=d["parent"],
+            depth=d["depth"],
+            dur_s=d.get("dur_s"),
+            attrs=d.get("attrs", {}),
+        )
+
+
+class Span:
+    """An open span; closes (and emits its record) on context-manager exit.
+
+    ``annotate(**attrs)`` attaches attributes any time before exit; the
+    emitted record carries the union of construction-time and annotated
+    attributes.
+    """
+
+    __slots__ = ("_tracer", "category", "name", "t", "id", "parent", "depth", "attrs", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        category: str,
+        name: str,
+        t: float,
+        id: int,
+        parent: Optional[int],
+        depth: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.category = category
+        self.name = name
+        self.t = t
+        self.id = id
+        self.parent = parent
+        self.depth = depth
+        self.attrs = attrs
+        self._t0 = tracer._clock()
+
+    def annotate(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close_span(self, exc_type)
+
+
+class Tracer:
+    """Collects trace records; see the module docstring for the schema.
+
+    Parameters
+    ----------
+    stream:
+        Optional text file object; every record is written to it as one
+        JSONL line the moment it completes.
+    keep:
+        Keep records in ``self.records`` (default).  Disable for long runs
+        that only need the stream.
+    clock:
+        Wall-clock source for span durations (injectable for deterministic
+        tests); defaults to :func:`time.perf_counter`.
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        keep: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.records: List[TraceRecord] = []
+        self._stream = stream
+        self._keep = keep
+        self._clock = clock
+        self._next_id = 1
+        self._stack: List[Span] = []  # open spans, innermost last
+
+    # -------------------------------------------------------------- recording
+    def event(self, category: str, name: str, t: float, **attrs: Any) -> TraceRecord:
+        """Record a point event at simulation time ``t``."""
+        parent = self._stack[-1].id if self._stack else None
+        record = TraceRecord(
+            kind="event",
+            category=category,
+            name=name,
+            t=t,
+            id=self._take_id(),
+            parent=parent,
+            depth=len(self._stack),
+            attrs=attrs,
+        )
+        self._emit(record)
+        return record
+
+    def span(self, category: str, name: str, t: float, **attrs: Any) -> Span:
+        """Open a span at simulation time ``t``; use as a context manager."""
+        parent = self._stack[-1].id if self._stack else None
+        span = Span(
+            self,
+            category=category,
+            name=name,
+            t=t,
+            id=self._take_id(),
+            parent=parent,
+            depth=len(self._stack),
+            attrs=attrs,
+        )
+        self._stack.append(span)
+        return span
+
+    def _close_span(self, span: Span, exc_type) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            # Out-of-order close (a bug at the instrumentation site): pop
+            # down to the span if present, so the tracer stays usable.
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        record = TraceRecord(
+            kind="span",
+            category=span.category,
+            name=span.name,
+            t=span.t,
+            id=span.id,
+            parent=span.parent,
+            depth=span.depth,
+            dur_s=self._clock() - span._t0,
+            attrs=span.attrs,
+        )
+        self._emit(record)
+
+    # --------------------------------------------------------------- plumbing
+    def _take_id(self) -> int:
+        i = self._next_id
+        self._next_id = i + 1
+        return i
+
+    def _emit(self, record: TraceRecord) -> None:
+        if self._keep:
+            self.records.append(record)
+        if self._stream is not None:
+            self._stream.write(record.to_json() + "\n")
+
+    # ----------------------------------------------------------------- output
+    def to_jsonl(self) -> str:
+        """The kept records as a JSONL string."""
+        return "".join(r.to_json() + "\n" for r in self.records)
+
+    def dump(self, path: Union[str, Path]) -> None:
+        """Write the kept records to ``path`` as JSONL."""
+        Path(path).write_text(self.to_jsonl())
+
+    def counts_by_category(self) -> Dict[str, int]:
+        """Record count per category (quick sanity summary)."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.category] = out.get(r.category, 0) + 1
+        return out
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every instrumentation site no-ops through it.
+
+    Hot paths guard on ``tracer.enabled`` and never call the record
+    methods; these overrides exist so that un-guarded (cold) call sites
+    are still free of side effects.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def event(self, category, name, t, **attrs):  # type: ignore[override]
+        return None
+
+    def span(self, category, name, t, **attrs):  # type: ignore[override]
+        return _NULL_SPAN
+
+
+class _NullSpan:
+    """Inert span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+#: Shared disabled tracer; components default to this.
+NULL_TRACER = NullTracer()
+
+
+def read_trace_lines(lines: Iterable[str]) -> List[TraceRecord]:
+    """Parse JSONL lines into trace records (blank lines skipped)."""
+    return [TraceRecord.from_json(ln) for ln in lines if ln.strip()]
+
+
+def read_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Load a JSONL trace file written by :meth:`Tracer.dump` or a stream."""
+    with io.open(path, "r") as fh:
+        return read_trace_lines(fh)

@@ -22,6 +22,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.network.overlay import Overlay
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.metrics import BandwidthLedger, TrafficCategory
 from repro.workload.content import ContentIndex
 
@@ -101,13 +102,54 @@ class SearchAlgorithm(abc.ABC):
         self.ledger = ledger
         self.sizes = sizes or MessageSizes()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------ interface
-    @abc.abstractmethod
     def search(
         self, requester: int, terms: Sequence[str], now: float
     ) -> SearchOutcome:
-        """Execute one search request issued at simulation time ``now``."""
+        """Execute one search request issued at simulation time ``now``.
+
+        This is a template method: the per-algorithm logic lives in
+        :meth:`_search_impl`; when a tracer is attached each request is
+        wrapped in a ``query`` span annotated with the outcome's message
+        (hop) and byte costs.  With the default null tracer the wrapper is
+        one attribute load and one branch.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._search_impl(requester, terms, now)
+        with tracer.span(
+            "query", self.name, now, requester=int(requester), terms=len(terms)
+        ) as span:
+            outcome = self._search_impl(requester, terms, now)
+            span.annotate(
+                success=outcome.success,
+                messages=outcome.messages,
+                cost_bytes=outcome.cost_bytes,
+                results=outcome.results,
+                local_hit=outcome.local_hit,
+                response_time_ms=(
+                    outcome.response_time_ms if outcome.success else None
+                ),
+            )
+        return outcome
+
+    def _search_impl(
+        self, requester: int, terms: Sequence[str], now: float
+    ) -> SearchOutcome:
+        """Algorithm-specific search logic; concrete classes override this.
+
+        Not ``@abstractmethod`` so that legacy subclasses overriding
+        :meth:`search` directly keep working (they bypass tracing).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _search_impl()"
+        )
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer (subclasses propagate it to their components)."""
+        self.tracer = tracer
 
     def warmup(self, engine, start: float, duration: float) -> None:
         """Pre-trace preparation (ASAP's initial ad dissemination).

@@ -38,7 +38,7 @@ class ExpandingRingSearch(SearchAlgorithm):
             raise ValueError("ttl_sequence must be increasing positive TTLs")
         self.ttl_sequence = tuple(ttl_sequence)
 
-    def search(
+    def _search_impl(
         self, requester: int, terms: Sequence[str], now: float
     ) -> SearchOutcome:
         if self._local_hit(requester, terms):

@@ -85,7 +85,7 @@ class FloodingSearch(SearchAlgorithm):
             raise ValueError("ttl must be >= 1")
         self.ttl = ttl
 
-    def search(
+    def _search_impl(
         self, requester: int, terms: Sequence[str], now: float
     ) -> SearchOutcome:
         if self._local_hit(requester, terms):

@@ -50,7 +50,7 @@ class GsaSearch(SearchAlgorithm):
         self.budget = budget
         self.walkers = walkers
 
-    def search(
+    def _search_impl(
         self, requester: int, terms: Sequence[str], now: float
     ) -> SearchOutcome:
         if self._local_hit(requester, terms):

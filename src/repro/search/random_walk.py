@@ -41,7 +41,7 @@ class RandomWalkSearch(SearchAlgorithm):
         self.walkers = walkers
         self.ttl = ttl
 
-    def search(
+    def _search_impl(
         self, requester: int, terms: Sequence[str], now: float
     ) -> SearchOutcome:
         if self._local_hit(requester, terms):

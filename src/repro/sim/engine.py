@@ -47,10 +47,18 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Set by the engine so lazy cancellation can keep its live-event count
+    # exact without scanning the heap; cleared once the event is dispatched.
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._on_cancel is not None:
+                self._on_cancel()
 
 
 class SimulationEngine:
@@ -62,6 +70,41 @@ class SimulationEngine:
         self._now = 0.0
         self._running = False
         self._processed = 0
+        # Lazily-cancelled events still sitting in the heap.  The live
+        # (dispatchable) count is ``len(heap) - cancelled``, so the dispatch
+        # loop never touches a counter on the hot path.
+        self._cancelled_in_heap = 0
+        # One bound-method object reused by every scheduled event.
+        self._cancel_hook = self._note_cancel
+        # Observer with event_begin(event)/event_end(event); None keeps the
+        # dispatch loop on its unobserved fast path (a single branch).
+        self._observer: Optional[Any] = None
+
+    def _note_cancel(self) -> None:
+        self._cancelled_in_heap += 1
+
+    # --------------------------------------------------------------- observer
+    @property
+    def observer(self) -> Optional[Any]:
+        """The installed dispatch observer (None when unobserved)."""
+        return self._observer
+
+    def set_observer(self, observer: Optional[Any]) -> None:
+        """Install (or, with None, remove) a dispatch observer.
+
+        The observer's ``event_begin(event)`` / ``event_end(event)`` are
+        called around every executed event.  Used by the profiler and
+        tracer in :mod:`repro.obs`; when no observer is installed the
+        dispatch loop pays one branch and nothing else.
+        """
+        if observer is not None and (
+            not callable(getattr(observer, "event_begin", None))
+            or not callable(getattr(observer, "event_end", None))
+        ):
+            raise SimulationError(
+                "observer must provide event_begin(event) and event_end(event)"
+            )
+        self._observer = observer
 
     # ------------------------------------------------------------------ clock
     @property
@@ -76,8 +119,23 @@ class SimulationEngine:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still in the queue."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def pending_live(self) -> int:
+        """Live (non-cancelled) queued events, tracked in O(1).
+
+        Lazily-cancelled events stay in the heap until popped; this count
+        excludes them, so progress reporting and the profiler see the true
+        remaining work rather than the raw queue depth.
+        """
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def pending_events(self) -> int:
+        """Raw queue depth, *including* lazily-cancelled events."""
+        return len(self._heap)
 
     # -------------------------------------------------------------- schedule
     def schedule_at(
@@ -94,7 +152,13 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule into the past: t={time} < now={self._now}"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback, name=name)
+        event = Event(
+            time=time,
+            seq=next(self._seq),
+            callback=callback,
+            name=name,
+            _on_cancel=self._cancel_hook,
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -117,18 +181,29 @@ class SimulationEngine:
         if self._running:
             raise SimulationError("engine is already running")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        # Read once: install observers before run(), not from inside it.
+        observer = self._observer
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
+                pop(heap)
+                event._on_cancel = None  # executed: a late cancel is a no-op
                 self._now = event.time
                 self._processed += 1
-                event.callback()
+                if observer is None:
+                    event.callback()
+                else:
+                    observer.event_begin(event)
+                    event.callback()
+                    observer.event_end(event)
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -140,10 +215,18 @@ class SimulationEngine:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            event._on_cancel = None
             self._now = event.time
             self._processed += 1
-            event.callback()
+            observer = self._observer
+            if observer is None:
+                event.callback()
+            else:
+                observer.event_begin(event)
+                event.callback()
+                observer.event_end(event)
             return True
         return False
 

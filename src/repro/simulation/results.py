@@ -22,6 +22,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.asap.diagnostics import CacheDiagnostics
+from repro.obs.profile import RunProfile
 from repro.search.base import SearchOutcome
 from repro.sim.metrics import BandwidthLedger, LoadSeries, TrafficCategory
 
@@ -70,6 +72,9 @@ class RunResult:
     live_counts: np.ndarray  # live peers at each second of the window
     t_start: int  # measurement window start (trace start, post warm-up)
     t_end: int  # exclusive
+    # Observability extras, populated when the runner is asked for them.
+    profile: Optional[RunProfile] = None  # per-subsystem/phase accounting
+    cache_diagnostics: Optional[CacheDiagnostics] = None  # ASAP runs only
 
     # ------------------------------------------------------------- metrics
     @property

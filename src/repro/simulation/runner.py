@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.asap.protocol import AsapParams, AsapSearch
 from repro.network.latency import LatencyModel
+from repro.obs.profile import Profiler
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.network.overlay import Overlay
 from repro.network.topology import build_topology
 from repro.network.transit_stub import TransitStubNetwork
@@ -112,9 +114,30 @@ def build_algorithm(
     )
 
 
-def run_experiment(config: RunConfig) -> RunResult:
-    """Execute one full trace replay and return its results."""
+def run_experiment(
+    config: RunConfig,
+    *,
+    tracer: Optional[Tracer] = None,
+    profile: bool = False,
+    collect_diagnostics: bool = False,
+    progress=None,
+) -> RunResult:
+    """Execute one full trace replay and return its results.
+
+    Observability (all opt-in, zero-cost when off):
+
+    * ``tracer`` -- a :class:`repro.obs.trace.Tracer`; ad lifecycle, query
+      spans and churn events are recorded into it;
+    * ``profile`` -- install a :class:`repro.obs.profile.Profiler` as the
+      engine observer and attach the resulting ``RunProfile`` to the
+      returned :class:`RunResult` (also implied by ``tracer``);
+    * ``collect_diagnostics`` -- snapshot ASAP cache diagnostics into
+      ``RunResult.cache_diagnostics`` after the replay (ASAP runs only);
+    * ``progress`` -- optional ``callable(str)``; receives the rendered
+      run profile when profiling is on.
+    """
     streams = RandomStreams(seed=config.seed)
+    tracer = tracer if tracer is not None else NULL_TRACER
 
     # --- substrate -------------------------------------------------------
     network = latency = None
@@ -137,8 +160,15 @@ def run_experiment(config: RunConfig) -> RunResult:
         config, overlay, content, ledger, streams.get("algorithm"), dist.interests
     )
 
+    if tracer.enabled:
+        algorithm.set_tracer(tracer)
+
     # --- replay ------------------------------------------------------------
     engine = SimulationEngine()
+    profiler: Optional[Profiler] = None
+    if profile or tracer.enabled:
+        profiler = Profiler(warmup_s=config.warmup_s, tracer=tracer)
+        engine.set_observer(profiler)
     if config.model_keepalives:
         from repro.network.keepalive import KeepaliveTraffic
 
@@ -169,14 +199,32 @@ def run_experiment(config: RunConfig) -> RunResult:
                 content.place(event.node, event.doc_id, notify=False)
             else:
                 content.remove(event.node, event.doc_id, notify=False)
+            if tracer.enabled:
+                tracer.event(
+                    "churn",
+                    "content_add" if event.added else "content_remove",
+                    now,
+                    node=int(event.node),
+                    doc_id=int(event.doc_id),
+                )
             algorithm.on_content_change(event.node, doc, event.added, now)
         elif isinstance(event, JoinEvent):
             overlay.join(event.node)
             live_tracker.record_change(now, +1)
+            if tracer.enabled:
+                tracer.event(
+                    "churn", "join", now,
+                    node=int(event.node), live=overlay.live_count(),
+                )
             algorithm.on_join(event.node, now)
         elif isinstance(event, LeaveEvent):
             overlay.leave(event.node)
             live_tracker.record_change(now, -1)
+            if tracer.enabled:
+                tracer.event(
+                    "churn", "leave", now,
+                    node=int(event.node), live=overlay.live_count(),
+                )
             algorithm.on_leave(event.node, now)
         else:  # pragma: no cover - trace types are closed
             raise TypeError(f"unknown trace event {type(event).__name__}")
@@ -191,6 +239,18 @@ def run_experiment(config: RunConfig) -> RunResult:
     t_start = int(config.warmup_s)
     t_end = int(np.ceil(config.warmup_s + trace.duration)) + 1
     live_counts = live_tracker.counts(t_start, t_end)
+
+    run_profile = None
+    if profiler is not None:
+        run_profile = profiler.finish(engine)
+        if progress is not None:
+            progress(run_profile.format_table())
+    diagnostics = None
+    if collect_diagnostics and isinstance(algorithm, AsapSearch):
+        from repro.asap.diagnostics import diagnose
+
+        diagnostics = diagnose(algorithm)
+
     return RunResult(
         algorithm=algorithm.name,
         topology=config.topology,
@@ -201,4 +261,6 @@ def run_experiment(config: RunConfig) -> RunResult:
         live_counts=live_counts,
         t_start=t_start,
         t_end=t_end,
+        profile=run_profile,
+        cache_diagnostics=diagnostics,
     )

@@ -1,0 +1,247 @@
+"""Tracing layer: disabled no-op semantics, span nesting, JSONL round-trip,
+and the engine observer / live-pending satellites."""
+
+import io
+
+import pytest
+
+from repro.obs.profile import Profiler, RunProfile, subsystem_of
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceRecord,
+    Tracer,
+    read_trace,
+    read_trace_lines,
+)
+from repro.sim.engine import SimulationEngine, SimulationError
+
+
+# ------------------------------------------------------------ disabled path
+def test_null_tracer_is_disabled_and_records_nothing():
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.event("ad", "deliver", 1.0, bytes=10) is None
+    with NULL_TRACER.span("query", "flooding", 2.0) as span:
+        span.annotate(success=True)
+    assert NULL_TRACER.records == []
+
+
+def test_null_span_annotate_chains():
+    span = NullTracer().span("query", "x", 0.0)
+    assert span.annotate(a=1).annotate(b=2) is span
+
+
+def test_enabled_guard_is_plain_attribute():
+    # Hot paths do `if tracer.enabled:`; both classes must expose it as a
+    # cheap class attribute, not a property.
+    assert isinstance(Tracer.__dict__.get("enabled"), bool)
+    assert isinstance(NullTracer.__dict__.get("enabled"), bool)
+
+
+# ----------------------------------------------------------------- recording
+def test_event_records_fields():
+    tracer = Tracer()
+    rec = tracer.event("churn", "join", 12.5, node=3, live=99)
+    assert rec.kind == "event"
+    assert rec.category == "churn"
+    assert rec.t == 12.5
+    assert rec.parent is None and rec.depth == 0
+    assert rec.attrs == {"node": 3, "live": 99}
+    assert tracer.records == [rec]
+
+
+def test_span_nesting_parent_and_depth():
+    tracer = Tracer()
+    with tracer.span("query", "outer", 1.0) as outer:
+        tracer.event("ad", "inner-event", 1.0)
+        with tracer.span("ad", "inner", 1.5):
+            pass
+    # Emission order: inner event, inner span (on close), outer span.
+    ev, inner, outer_rec = tracer.records
+    assert ev.parent == outer.id and ev.depth == 1
+    assert inner.parent == outer.id and inner.depth == 1
+    assert outer_rec.parent is None and outer_rec.depth == 0
+    assert inner.dur_s is not None and outer_rec.dur_s is not None
+
+
+def test_span_duration_uses_injected_clock():
+    ticks = iter([10.0, 10.25])
+    tracer = Tracer(clock=lambda: next(ticks))
+    with tracer.span("query", "q", 0.0):
+        pass
+    assert tracer.records[0].dur_s == pytest.approx(0.25)
+
+
+def test_span_records_error_attr_on_exception():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("query", "boom", 0.0):
+            raise RuntimeError("x")
+    assert tracer.records[0].attrs["error"] == "RuntimeError"
+
+
+def test_ids_are_sequential_and_deterministic():
+    def build():
+        t = Tracer(clock=lambda: 0.0)
+        with t.span("query", "q", 0.0):
+            t.event("ad", "a", 0.0)
+        t.event("churn", "c", 1.0)
+        return [(r.id, r.kind, r.name, r.parent, r.depth) for r in t.records]
+
+    assert build() == build()
+    ids = [row[0] for row in build()]
+    assert sorted(ids) == [1, 2, 3]
+
+
+def test_counts_by_category():
+    tracer = Tracer()
+    tracer.event("ad", "x", 0.0)
+    tracer.event("ad", "y", 0.0)
+    tracer.event("churn", "z", 0.0)
+    assert tracer.counts_by_category() == {"ad": 2, "churn": 1}
+
+
+# ------------------------------------------------------------ JSONL round-trip
+def test_jsonl_round_trip_in_memory():
+    tracer = Tracer(clock=lambda: 0.0)
+    with tracer.span("query", "q", 3.0, requester=7) as s:
+        s.annotate(success=True)
+    tracer.event("ad", "deliver.rw", 4.0, bytes=120)
+    parsed = read_trace_lines(tracer.to_jsonl().splitlines())
+    assert parsed == tracer.records
+
+
+def test_jsonl_round_trip_via_file(tmp_path):
+    tracer = Tracer()
+    tracer.event("engine", "dispatch", 1.0, event_name="trace", seq=0)
+    path = tmp_path / "trace.jsonl"
+    tracer.dump(path)
+    assert read_trace(path) == tracer.records
+
+
+def test_streaming_without_keep(tmp_path):
+    buf = io.StringIO()
+    tracer = Tracer(stream=buf, keep=False)
+    tracer.event("ad", "deliver", 0.5, bytes=1)
+    with tracer.span("query", "q", 1.0):
+        pass
+    assert tracer.records == []  # nothing retained in memory
+    parsed = read_trace_lines(buf.getvalue().splitlines())
+    assert [r.name for r in parsed] == ["deliver", "q"]
+
+
+def test_record_from_json_tolerates_missing_optionals():
+    rec = TraceRecord.from_json(
+        '{"kind":"event","cat":"ad","name":"n","t":0.0,"id":1,'
+        '"parent":null,"depth":0}'
+    )
+    assert rec.dur_s is None and rec.attrs == {}
+
+
+# ----------------------------------------------- engine observer integration
+def _run_engine_with(observer, n=5):
+    engine = SimulationEngine()
+    if observer is not None:
+        engine.set_observer(observer)
+    for i in range(n):
+        engine.schedule_at(float(i), lambda: None, name=f"tick-{i % 2}")
+    engine.run()
+    return engine
+
+
+def test_engine_observer_sees_every_dispatch():
+    seen = []
+
+    class Recorder:
+        def event_begin(self, event):
+            seen.append(("begin", event.name, event.time))
+
+        def event_end(self, event):
+            seen.append(("end", event.name, event.time))
+
+    _run_engine_with(Recorder())
+    assert len(seen) == 10
+    assert seen[0] == ("begin", "tick-0", 0.0)
+    assert seen[1] == ("end", "tick-0", 0.0)
+
+
+def test_engine_rejects_invalid_observer():
+    engine = SimulationEngine()
+    with pytest.raises(SimulationError):
+        engine.set_observer(object())
+    engine.set_observer(None)  # uninstall is fine
+    assert engine.observer is None
+
+
+def test_profiler_buckets_by_phase_and_subsystem():
+    profiler = Profiler(warmup_s=2.0)
+    engine = _run_engine_with(profiler, n=5)
+    profile = profiler.finish(engine)
+    assert isinstance(profile, RunProfile)
+    assert profile.events == 5
+    assert profile.phases["warmup"].events == 2  # t=0,1 < warmup_s=2
+    assert profile.phases["measurement"].events == 3
+    assert profile.subsystems["tick"].events == 5
+    assert profile.engine_events == 5
+    assert profile.engine_pending_live == 0
+    assert profile.sim_end_s == 4.0
+    # Renderers stay in sync with the data.
+    assert "dispatched 5 events" in profile.format_table()
+    assert profile.to_dict()["phases"]["warmup"]["events"] == 2
+
+
+def test_profiler_can_mirror_dispatch_into_tracer():
+    tracer = Tracer()
+    profiler = Profiler(warmup_s=0.0, tracer=tracer, trace_dispatch=True)
+    _run_engine_with(profiler, n=3)
+    dispatch = [r for r in tracer.records if r.name == "dispatch"]
+    assert len(dispatch) == 3
+    assert dispatch[0].category == "engine"
+    assert dispatch[0].attrs["event_name"] == "tick-0"
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [
+        ("full-ad-123", "full-ad"),
+        ("refresh-7", "refresh"),
+        ("trace", "trace"),
+        ("bootstrap", "bootstrap"),
+        ("", "unnamed"),
+        ("v2", "v2"),  # no dash: the digits are part of the name
+    ],
+)
+def test_subsystem_of(name, expected):
+    assert subsystem_of(name) == expected
+
+
+# ------------------------------------------------------- live pending counts
+def test_pending_live_excludes_cancelled_events():
+    engine = SimulationEngine()
+    keep = engine.schedule_at(1.0, lambda: None)
+    drop = engine.schedule_at(2.0, lambda: None)
+    assert engine.pending_live == 2
+    assert engine.pending_events == 2
+    drop.cancel()
+    drop.cancel()  # idempotent
+    assert engine.pending_live == 1  # live view
+    assert engine.pending_events == 2  # raw heap still holds the corpse
+    engine.run()
+    assert engine.pending_live == 0
+    assert engine.pending_events == 0
+    assert not keep.cancelled
+
+
+def test_pending_live_survives_cancel_after_dispatch():
+    # Cancelling an already-executed event (PeriodicTimer.stop() from its
+    # own callback does this) must not corrupt the live count.
+    engine = SimulationEngine()
+    fired = []
+    ev = engine.schedule_at(0.5, lambda: fired.append(1))
+    engine.schedule_at(1.0, lambda: None)
+    engine.run(until=0.6)
+    ev.cancel()
+    assert fired == [1]
+    assert engine.pending_live == 1
+    engine.run()
+    assert engine.pending_live == 0

@@ -5,6 +5,7 @@ vectorised kernels that make paper-scale replay tractable:
 
 * hop-bounded Bellman-Ford flood computation over a live overlay;
 * all-sources Bloom match through the packed filter matrix;
+* single-filter Bloom membership (the vectorised-gather query path);
 * hierarchical latency batch queries;
 * trace synthesis throughput;
 * engine event dispatch, unobserved vs observed (repro.obs overhead).
@@ -50,6 +51,24 @@ def bench_filter_matrix_match_10k(benchmark):
     positions = hasher.positions_array(["kw3", "kw77"])
     result = benchmark(mat.match_all, positions)
     assert result.shape == (10_000,)
+
+
+def bench_bloom_contains_all_1k_queries(benchmark):
+    """Per-filter membership over 1k multi-term queries: one position
+    gather per query (``_bits[positions].all()``) instead of a Python
+    loop over k bits per term."""
+    hasher = BloomHasher()
+    filt = BloomFilter(hasher)
+    rng = np.random.default_rng(4)
+    vocab = [f"kw{i}" for i in range(2_000)]
+    filt.add_all(rng.choice(vocab, size=400, replace=False))
+    queries = [list(rng.choice(vocab, size=3, replace=False)) for _ in range(1_000)]
+
+    def probe() -> int:
+        return sum(1 for q in queries if filt.contains_all(q))
+
+    hits = benchmark(probe)
+    assert 0 <= hits <= len(queries)
 
 
 def bench_latency_pairwise_10k(benchmark):

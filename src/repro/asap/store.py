@@ -100,17 +100,18 @@ class SourceFilterStore:
 
         Reconstructs historical bits exactly: a position's value at
         ``version`` is its current value XOR the parity of flips recorded by
-        patches issued after ``version``.
+        patches issued after ``version``.  The parities of all later
+        patches are merged in one pass over the history (symmetric
+        difference accumulates odd-flip positions), so evaluating a stale
+        cached ad costs O(history + positions), not O(history x positions).
         """
-        later = [
-            changed
-            for (v, changed) in self._patches.get(source, ())
-            if v > version
-        ]
+        flipped_odd: Set[int] = set()
+        for v, changed in self._patches.get(source, ()):
+            if v > version:
+                flipped_odd.symmetric_difference_update(changed)
         for pos in positions:
             bit = self.matrix.get_bit(source, int(pos))
-            flips = sum(1 for changed in later if int(pos) in changed)
-            if flips % 2:
+            if int(pos) in flipped_odd:
                 bit = not bit
             if not bit:
                 return False

@@ -52,11 +52,15 @@ class BloomFilter:
 
     # -------------------------------------------------------------- queries
     def __contains__(self, term: str) -> bool:
-        return all(self._bits[pos] for pos in self.hasher.positions(term))
+        return bool(self._bits[self.hasher.positions_vector(term)].all())
 
     def contains_all(self, terms: Iterable[str]) -> bool:
-        """The paper's match rule: filter returns true for ALL query terms."""
-        return all(term in self for term in terms)
+        """The paper's match rule: filter returns true for ALL query terms.
+
+        One gather over the union of all terms' positions -- equivalent to
+        testing each term, since membership is a conjunction of bits.
+        """
+        return bool(self._bits[self.hasher.positions_array(terms)].all())
 
     def set_bits(self) -> np.ndarray:
         """Positions of set bits (sorted)."""
@@ -153,10 +157,10 @@ class CountingBloomFilter:
 
     # -------------------------------------------------------------- queries
     def __contains__(self, term: str) -> bool:
-        return all(self._counts[pos] > 0 for pos in self.hasher.positions(term))
+        return bool((self._counts[self.hasher.positions_vector(term)] > 0).all())
 
     def contains_all(self, terms: Iterable[str]) -> bool:
-        return all(term in self for term in terms)
+        return bool((self._counts[self.hasher.positions_array(terms)] > 0).all())
 
     @property
     def n_set(self) -> int:

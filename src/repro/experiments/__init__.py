@@ -22,9 +22,11 @@ from repro.experiments.figures import (
     fig9_load_variation,
     fig10_realtime_load,
 )
+from repro.experiments.parallel import CellFailure, resolve_jobs, run_cells
 from repro.experiments.report import format_bar_chart, format_grid_table
 
 __all__ = [
+    "CellFailure",
     "ExperimentGrid",
     "ExperimentScale",
     "GridFigure",
@@ -39,4 +41,6 @@ __all__ = [
     "fig10_realtime_load",
     "format_bar_chart",
     "format_grid_table",
+    "resolve_jobs",
+    "run_cells",
 ]

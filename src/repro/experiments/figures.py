@@ -63,6 +63,8 @@ class ExperimentScale:
     topologies: Tuple[str, ...] = TOPOLOGIES
     # Attach a RunProfile to every grid cell's RunResult (repro.obs).
     profile: bool = False
+    # Worker processes for grid population (1 = serial, 0 = all cores).
+    jobs: int = 1
 
     @staticmethod
     def paper() -> "ExperimentScale":
@@ -115,12 +117,60 @@ class ExperimentGrid:
             self._results[key] = cached
         return cached
 
+    def prefetch(
+        self,
+        cells: Optional[List[Tuple[str, str]]] = None,
+        progress=None,
+    ) -> "ExperimentGrid":
+        """Populate missing cells, in parallel when ``scale.jobs != 1``.
+
+        ``cells`` defaults to the scale's full (algorithm x topology)
+        product.  Results are identical to on-demand serial population --
+        each cell runs the same config through the same runner -- so
+        figures read from a prefetched grid exactly as before, just
+        without the wall-clock serialisation.  A failed cell raises with
+        the worker's config and traceback; sibling cells are kept.
+        """
+        from repro.experiments.parallel import CellFailure, run_cells
+
+        if cells is None:
+            cells = [
+                (algo, topo)
+                for algo in self.scale.algorithms
+                for topo in self.scale.topologies
+            ]
+        missing = [key for key in dict.fromkeys(cells) if key not in self._results]
+        if not missing:
+            return self
+        outcomes = run_cells(
+            [self.scale.config(algo, topo) for algo, topo in missing],
+            jobs=self.scale.jobs,
+            profile=self.scale.profile,
+            progress=progress,
+        )
+        failures = []
+        for key, outcome in zip(missing, outcomes):
+            if isinstance(outcome, CellFailure):
+                failures.append(outcome)
+            else:
+                self._results[key] = outcome
+        if failures:
+            report = "\n\n".join(
+                f"{f.describe()}\n{f.traceback}" for f in failures
+            )
+            raise RuntimeError(
+                f"{len(failures)} grid cell(s) failed:\n{report}"
+            )
+        return self
+
     def metric(
         self, extract, algorithms=None, topologies=None
     ) -> Dict[str, Dict[str, float]]:
         """``{algorithm_name: {topology: extract(result)}}`` over the grid."""
         algorithms = algorithms or self.scale.algorithms
         topologies = topologies or self.scale.topologies
+        if self.scale.jobs != 1:
+            self.prefetch([(a, t) for a in algorithms for t in topologies])
         out: Dict[str, Dict[str, float]] = {}
         for algo in algorithms:
             row: Dict[str, float] = {}

@@ -1,0 +1,165 @@
+"""Process-pool fan-out for independent experiment cells.
+
+The paper's evaluation is a grid of *independent* trace replays -- every
+(algorithm, topology, seed) cell derives all randomness from its own
+:class:`~repro.simulation.config.RunConfig` seed, so cells can execute in
+any order, on any worker, and still produce bit-identical results.  This
+module exploits that:
+
+* :func:`run_cells` executes a sequence of configs across ``jobs`` worker
+  processes and merges results **deterministically**: the returned list is
+  ordered by input position regardless of completion order, and every value
+  is exactly what the serial path would have produced (workers run the same
+  :func:`~repro.simulation.runner.run_experiment`; pickling preserves float
+  bits).
+* Workers are forked where the platform allows it, so they inherit the
+  parent's already-built :mod:`repro.network.substrate` cache through
+  copy-on-write memory instead of rebuilding the transit-stub network and
+  APSP tables per cell.  :func:`run_cells` pre-warms the cache in the
+  parent for exactly the substrates the configs will need.
+* A failing cell is **isolated**: it reports a :class:`CellFailure`
+  carrying its config and formatted traceback in its slot of the result
+  list, and sibling cells complete normally.
+* ``jobs=1`` (or a single cell) falls back to a plain serial loop in the
+  calling process -- no pool, no pickling, same failure isolation.
+
+What travels back from a worker is the full :class:`~repro.simulation.
+results.RunResult` -- summary inputs, bandwidth ledger, optional
+:class:`~repro.obs.profile.RunProfile` and cache diagnostics -- all plain
+data, so ``--profile`` accounting under parallelism is exact per cell and
+mergeable in the parent (:func:`repro.obs.profile.merge_profiles`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.network.substrate import get_substrate
+from repro.simulation.config import RunConfig
+from repro.simulation.results import RunResult
+from repro.simulation.runner import run_experiment
+
+__all__ = ["CellFailure", "CellOutcome", "resolve_jobs", "run_cells"]
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell's crash report: which config failed and why."""
+
+    config: RunConfig
+    error: str  # repr of the raised exception
+    traceback: str  # full formatted traceback from the worker
+
+    def describe(self) -> str:
+        return (
+            f"{self.config.algorithm}/{self.config.topology} "
+            f"(seed {self.config.seed}) failed: {self.error}"
+        )
+
+
+CellOutcome = Union[RunResult, CellFailure]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None`` -> 1, ``<= 0`` -> all cores."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _run_cell(
+    config: RunConfig, profile: bool, collect_diagnostics: bool
+) -> CellOutcome:
+    """Worker body: run one cell, trading exceptions for a CellFailure."""
+    try:
+        return run_experiment(
+            config, profile=profile, collect_diagnostics=collect_diagnostics
+        )
+    except Exception as exc:
+        return CellFailure(
+            config=config, error=repr(exc), traceback=traceback.format_exc()
+        )
+
+
+def _prewarm_substrates(configs: Sequence[RunConfig]) -> None:
+    """Build each distinct substrate once in the parent before forking."""
+    seen = set()
+    for config in configs:
+        if config.use_physical_network and config.seed not in seen:
+            seen.add(config.seed)
+            get_substrate(seed=config.seed)
+
+
+def run_cells(
+    configs: Sequence[RunConfig],
+    jobs: Optional[int] = 1,
+    *,
+    profile: bool = False,
+    collect_diagnostics: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CellOutcome]:
+    """Run independent cells, serially or across a process pool.
+
+    Returns one entry per config, **in input order**: a
+    :class:`~repro.simulation.results.RunResult` on success or a
+    :class:`CellFailure` on error.  Output is bit-identical to running the
+    same configs serially (all randomness flows from per-config seeds).
+    """
+    configs = list(configs)
+    n_jobs = min(resolve_jobs(jobs), len(configs))
+    log = progress or (lambda _msg: None)
+
+    if n_jobs <= 1:
+        results: List[CellOutcome] = []
+        for i, config in enumerate(configs):
+            outcome = _run_cell(config, profile, collect_diagnostics)
+            _log_outcome(log, i, len(configs), outcome)
+            results.append(outcome)
+        return results
+
+    _prewarm_substrates(configs)
+    # Fork keeps the inherited substrate cache; platforms without fork
+    # (Windows, some macOS setups) fall back to the default start method,
+    # where workers rebuild their own substrate once and then share it
+    # across the cells they execute.
+    mp_context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        mp_context = multiprocessing.get_context("fork")
+    slots: List[Optional[CellOutcome]] = [None] * len(configs)
+    with ProcessPoolExecutor(max_workers=n_jobs, mp_context=mp_context) as pool:
+        future_index = {
+            pool.submit(_run_cell, config, profile, collect_diagnostics): i
+            for i, config in enumerate(configs)
+        }
+        pending = set(future_index)
+        done_count = 0
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                i = future_index[future]
+                # _run_cell converts cell exceptions to CellFailure; an
+                # exception here means the pool itself broke (e.g. a worker
+                # was killed), which is not attributable to one cell.
+                slots[i] = future.result()
+                done_count += 1
+                _log_outcome(log, done_count - 1, len(configs), slots[i])
+    return [outcome for outcome in slots if outcome is not None]
+
+
+def _log_outcome(
+    log: Callable[[str], None], done: int, total: int, outcome: CellOutcome
+) -> None:
+    if isinstance(outcome, CellFailure):
+        log(f"[{done + 1}/{total}] {outcome.describe()}")
+    else:
+        log(
+            f"[{done + 1}/{total}] {outcome.algorithm}/{outcome.topology} done"
+        )

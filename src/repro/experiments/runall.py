@@ -3,11 +3,17 @@
 Usage::
 
     python -m repro.experiments.runall [--peers N] [--queries Q] [--seed S]
+                                       [--jobs J] [--profile]
                                        [--output report.md]
 
 Runs the full (algorithm x topology) grid once, renders all ten figures,
 and writes a markdown report (tables + qualitative checks).  This is the
 scriptable counterpart of ``pytest benchmarks/ --benchmark-only``.
+
+``--jobs J`` fans the independent grid cells out across ``J`` worker
+processes (``0`` = all cores; default 1 = serial).  Cells share the cached
+physical substrate and every figure is bit-identical to a serial run --
+all randomness flows from per-cell seeds (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -35,10 +41,26 @@ from repro.experiments.figures import (
 __all__ = ["main", "build_report"]
 
 
+def _report_cells(scale: ExperimentScale) -> List[tuple]:
+    """Every grid cell the report reads, including fig 7/10 extras."""
+    cells = [
+        (algo, topo)
+        for algo in scale.algorithms
+        for topo in scale.topologies
+    ]
+    cells.append(("asap_rw", "crawled"))  # figure 7
+    for algo in ("flooding", "random_walk", "gsa", "asap_rw"):  # figure 10
+        cells.append((algo, "crawled"))
+    return list(dict.fromkeys(cells))
+
+
 def build_report(scale: ExperimentScale, progress=None) -> str:
     """Run everything and return the markdown report."""
     log = progress or (lambda _msg: None)
     grid = ExperimentGrid(scale)
+    if scale.jobs != 1:
+        log(f"populating grid ({scale.jobs} jobs)")
+        grid.prefetch(_report_cells(scale), progress=log)
     sections: List[str] = [
         "# ASAP reproduction report",
         "",
@@ -107,13 +129,17 @@ def build_report(scale: ExperimentScale, progress=None) -> str:
     sections += ["## Shape checks", ""] + checks + [""]
 
     if scale.profile:
+        from repro.obs.profile import merge_profiles
+
         log("run profiles")
         sections += ["## Run profiles", ""]
+        profiles = []
         for algo in scale.algorithms:
             for topo in scale.topologies:
                 result = grid.result(algo, topo)
                 if result.profile is None:
                     continue
+                profiles.append(result.profile)
                 sections += [
                     f"### {result.algorithm} / {topo}",
                     "",
@@ -122,6 +148,18 @@ def build_report(scale: ExperimentScale, progress=None) -> str:
                     "```",
                     "",
                 ]
+        if profiles:
+            # Per-cell profiles are exact wherever the cell ran; the merge
+            # totals CPU-seconds across workers, so the sweep-level view
+            # stays correct under --jobs > 1.
+            sections += [
+                "### sweep total (all cells merged)",
+                "",
+                "```",
+                merge_profiles(profiles).format_table(),
+                "```",
+                "",
+            ]
     return "\n".join(sections)
 
 
@@ -131,6 +169,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--queries", type=int, default=800)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for grid cells (0 = all cores, default 1)",
+    )
     parser.add_argument(
         "--profile",
         action="store_true",
@@ -143,6 +187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         n_queries=args.queries,
         seed=args.seed,
         profile=args.profile,
+        jobs=args.jobs,
     )
     start = time.time()
     report = build_report(

@@ -20,6 +20,14 @@ reimplements that stack from scratch:
 from repro.network.keepalive import KeepaliveTraffic
 from repro.network.latency import LatencyModel
 from repro.network.overlay import Overlay
+from repro.network.substrate import (
+    Substrate,
+    SubstrateCache,
+    SubstrateCacheStats,
+    clear_substrate_cache,
+    get_substrate,
+    substrate_cache_stats,
+)
 from repro.network.topology import (
     OverlayTopology,
     build_topology,
@@ -34,10 +42,16 @@ __all__ = [
     "LatencyModel",
     "Overlay",
     "OverlayTopology",
+    "Substrate",
+    "SubstrateCache",
+    "SubstrateCacheStats",
     "TransitStubNetwork",
     "TransitStubParams",
     "build_topology",
+    "clear_substrate_cache",
     "crawled_topology",
+    "get_substrate",
     "powerlaw_topology",
     "random_topology",
+    "substrate_cache_stats",
 ]

@@ -19,7 +19,13 @@ from repro.obs.metrics import (
     diff_flat,
     flatten,
 )
-from repro.obs.profile import PhaseStats, Profiler, RunProfile, subsystem_of
+from repro.obs.profile import (
+    PhaseStats,
+    Profiler,
+    RunProfile,
+    merge_profiles,
+    subsystem_of,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -46,6 +52,7 @@ __all__ = [
     "Tracer",
     "diff_flat",
     "flatten",
+    "merge_profiles",
     "read_trace",
     "read_trace_lines",
     "subsystem_of",

@@ -21,11 +21,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.obs.trace import NULL_TRACER, Tracer
 
-__all__ = ["PhaseStats", "Profiler", "RunProfile", "subsystem_of"]
+__all__ = [
+    "PhaseStats",
+    "Profiler",
+    "RunProfile",
+    "merge_profiles",
+    "subsystem_of",
+]
 
 _DIGITS = "0123456789"
 
@@ -109,6 +115,35 @@ class RunProfile:
                     f"{stats.wall_s:>8.3f}s  {share:>5.1%}"
                 )
         return "\n".join(lines)
+
+
+def merge_profiles(profiles: Iterable[RunProfile]) -> RunProfile:
+    """Aggregate per-run profiles into one sweep-level :class:`RunProfile`.
+
+    Used by parallel sweeps: each worker profiles its own cells exactly,
+    and the parent merges the returned profiles so ``--profile`` totals
+    stay correct under parallelism.  Counts and wall-clock add up (wall is
+    the *sum* of per-worker callback time -- CPU-seconds of simulation
+    work, not elapsed time); the simulated end time is the maximum.
+    """
+    merged = RunProfile()
+    for profile in profiles:
+        merged.events += profile.events
+        merged.wall_s += profile.wall_s
+        merged.engine_events += profile.engine_events
+        merged.engine_pending_live += profile.engine_pending_live
+        merged.sim_end_s = max(merged.sim_end_s, profile.sim_end_s)
+        for buckets, add in (
+            (merged.subsystems, profile.subsystems),
+            (merged.phases, profile.phases),
+        ):
+            for name, stats in add.items():
+                acc = buckets.get(name)
+                if acc is None:
+                    acc = buckets[name] = PhaseStats()
+                acc.events += stats.events
+                acc.wall_s += stats.wall_s
+    return merged
 
 
 class Profiler:

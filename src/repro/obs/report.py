@@ -15,10 +15,16 @@ profile into a :class:`~repro.obs.metrics.MetricsRegistry`, written as
 reports series-by-series -- the quick answer to "what changed between
 these two runs?".
 
+``--replications N --jobs J`` additionally replays seeds ``seed .. seed+N-1``
+across ``J`` worker processes and folds the across-seed metric spread plus
+the merged run profiles into the report (``repro_replication_*`` series).
+
 Examples::
 
     python -m repro.obs.report run --algorithm asap_rw --peers 120 \
         --queries 60 --out obs-out --trace
+    python -m repro.obs.report run --algorithm asap_rw --peers 120 \
+        --queries 60 --replications 4 --jobs 2 --out obs-rep
     python -m repro.obs.report diff obs-out/metrics.json other/metrics.json
 """
 
@@ -188,6 +194,61 @@ def render_diff(a: dict, b: dict, label_a: str = "a", label_b: str = "b") -> str
     return "\n".join(lines)
 
 
+def _replication_metrics(reg: MetricsRegistry, config, args) -> None:
+    """Run the extra seeds (in parallel) and export their spread + profile.
+
+    Seeds ``seed+1 .. seed+replications-1`` fan out across ``--jobs``
+    worker processes; the registry gains ``repro_replication_*`` gauges
+    (mean/std/min/max per summary metric) and merged sweep-profile totals,
+    so ``--profile``-style accounting stays correct under parallelism.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.parallel import CellFailure, run_cells
+    from repro.obs.profile import merge_profiles
+    from repro.simulation.replication import _NUMERIC_FIELDS, MetricSpread
+
+    configs = [
+        replace(config, seed=config.seed + i) for i in range(args.replications)
+    ]
+    outcomes = run_cells(
+        configs,
+        jobs=args.jobs,
+        profile=True,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    failures = [o for o in outcomes if isinstance(o, CellFailure)]
+    for failure in failures:
+        print(failure.describe(), file=sys.stderr)
+        print(failure.traceback, file=sys.stderr)
+    results = [o for o in outcomes if not isinstance(o, CellFailure)]
+    summaries = [r.summarize() for r in results]
+
+    reg.gauge(
+        "repro_replication_runs", "Replications aggregated in this report."
+    ).set(len(summaries))
+    reg.gauge(
+        "repro_replication_failures", "Replications that crashed."
+    ).set(len(failures))
+    for name in _NUMERIC_FIELDS:
+        spread = MetricSpread.of([getattr(s, name) for s in summaries])
+        for stat in ("mean", "std", "min", "max"):
+            reg.gauge(
+                "repro_replication_" + name,
+                "Across-seed spread of a RunSummary metric.",
+                stat=stat,
+            ).set(getattr(spread, stat))
+    merged = merge_profiles([r.profile for r in results if r.profile])
+    reg.counter(
+        "repro_replication_dispatched_events_total",
+        "Engine events dispatched across all replications.",
+    ).inc(merged.events)
+    reg.gauge(
+        "repro_replication_wall_seconds",
+        "Callback CPU-seconds summed across all replications' workers.",
+    ).set(merged.wall_s)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     # Imported lazily: the diff subcommand must work without the heavy
     # simulation stack (numpy/scipy) ever loading.
@@ -224,6 +285,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             stream.close()
 
     registry = build_registry(result, run_labels={"seed": str(args.seed)})
+    if args.replications > 1:
+        _replication_metrics(registry, config, args)
     json_path = out_dir / "metrics.json"
     prom_path = out_dir / "metrics.prom"
     json_path.write_text(registry.to_json() + "\n")
@@ -262,6 +325,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--peers", type=int, default=120)
     run_p.add_argument("--queries", type=int, default=60)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="extra seeds to aggregate into repro_replication_* metrics",
+    )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for --replications (0 = all cores)",
+    )
     run_p.add_argument("--out", default="obs-report")
     run_p.add_argument(
         "--trace", action="store_true", help="also write trace.jsonl"

@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.simulation.config import RunConfig
 from repro.simulation.results import RunSummary
-from repro.simulation.runner import run_experiment
 
 __all__ = ["MetricSpread", "ReplicatedSummary", "run_replications"]
 
@@ -87,19 +86,32 @@ class ReplicatedSummary:
         return "\n".join(lines)
 
 
-def run_replications(config: RunConfig, n_seeds: int = 5) -> ReplicatedSummary:
+def run_replications(
+    config: RunConfig, n_seeds: int = 5, jobs: int = 1
+) -> ReplicatedSummary:
     """Run ``config`` under ``n_seeds`` independent seeds and aggregate.
 
     Seeds are ``config.seed, config.seed + 1, ...`` -- deterministic, so a
-    replicated result is itself reproducible.
+    replicated result is itself reproducible.  ``jobs > 1`` fans the seeds
+    out across worker processes (``0`` means all cores); every seed derives
+    its own randomness, so the aggregate is bit-identical to ``jobs=1``.
+    A failed replication raises, carrying the worker's traceback.
     """
+    # Imported here to break the package cycle (parallel builds on runner).
+    from repro.experiments.parallel import CellFailure, run_cells
+
     if n_seeds < 1:
         raise ValueError("need at least one replication")
     seeds = [config.seed + i for i in range(n_seeds)]
+    configs = [replace(config, seed=seed) for seed in seeds]
+    outcomes = run_cells(configs, jobs=jobs)
     summaries: List[RunSummary] = []
-    for seed in seeds:
-        result = run_experiment(replace(config, seed=seed))
-        summaries.append(result.summarize())
+    for outcome in outcomes:
+        if isinstance(outcome, CellFailure):
+            raise RuntimeError(
+                f"replication {outcome.describe()}\n{outcome.traceback}"
+            )
+        summaries.append(outcome.summarize())
     metrics = {
         name: MetricSpread.of([getattr(s, name) for s in summaries])
         for name in _NUMERIC_FIELDS

@@ -3,7 +3,8 @@
 Pipeline (Section IV-B step 6: "feed it into each testing system, replaying
 the queries and collect the results"):
 
-1. build the GT-ITM physical network and latency model (once per run);
+1. obtain the GT-ITM physical network and latency model (shared across
+   runs via the process-wide :mod:`repro.network.substrate` cache);
 2. build the logical overlay (random / powerlaw / crawled) over it;
 3. synthesise the eDonkey-like content distribution and the query trace;
 4. instantiate the algorithm under test;
@@ -25,12 +26,11 @@ from typing import List, Optional
 import numpy as np
 
 from repro.asap.protocol import AsapParams, AsapSearch
-from repro.network.latency import LatencyModel
 from repro.obs.profile import Profiler
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.network.overlay import Overlay
+from repro.network.substrate import get_substrate
 from repro.network.topology import build_topology
-from repro.network.transit_stub import TransitStubNetwork
 from repro.search.base import SearchAlgorithm, SearchOutcome
 from repro.search.flooding import FloodingSearch
 from repro.search.gsa import GsaSearch
@@ -140,10 +140,13 @@ def run_experiment(
     tracer = tracer if tracer is not None else NULL_TRACER
 
     # --- substrate -------------------------------------------------------
+    # The physical network is fully determined by (params, seed) and its
+    # lazy materialisation is order-independent, so runs share one cached
+    # instance (see repro.network.substrate) with bit-identical results.
     network = latency = None
     if config.use_physical_network:
-        network = TransitStubNetwork(seed=config.seed)
-        latency = LatencyModel(network)
+        substrate = get_substrate(seed=config.seed)
+        network, latency = substrate.network, substrate.latency
     topology = build_topology(
         config.topology, config.n_peers, rng=streams.get("topology"), network=network
     )

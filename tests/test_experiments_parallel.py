@@ -1,0 +1,169 @@
+"""Determinism and crash isolation of the parallel experiment layer.
+
+The headline guarantee: ``jobs=N`` produces **bit-identical** results to
+the serial path, because every cell derives all randomness from its own
+config seed and workers run the exact same runner.  These tests assert
+equality of full ``RunSummary`` dataclasses (float equality, not approx).
+"""
+
+import pytest
+
+from repro.experiments.figures import ExperimentGrid, ExperimentScale
+from repro.experiments.parallel import CellFailure, resolve_jobs, run_cells
+from repro.experiments.runall import build_report
+from repro.simulation import run_replications, scaled_config
+
+
+def _tiny(algorithm, seed=0, physical=False):
+    return scaled_config(
+        algorithm,
+        "random",
+        n_peers=120,
+        n_queries=40,
+        seed=seed,
+        use_physical_network=physical,
+    )
+
+
+def _bogus_config():
+    """A config that pickles fine but fails inside the worker."""
+    config = _tiny("flooding")
+    # Bypass frozen-dataclass validation: the runner's algorithm dispatch
+    # raises on this name, which is exactly the failure we want isolated.
+    object.__setattr__(config, "algorithm", "bogus")
+    return config
+
+
+class TestResolveJobs:
+    def test_none_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+
+class TestRunCellsDeterminism:
+    @pytest.fixture(scope="class")
+    def configs(self):
+        return [_tiny("flooding"), _tiny("random_walk"), _tiny("flooding", seed=1)]
+
+    def test_parallel_matches_serial_bitwise(self, configs):
+        serial = run_cells(configs, jobs=1)
+        parallel = run_cells(configs, jobs=2)
+        assert len(serial) == len(parallel) == len(configs)
+        for s, p in zip(serial, parallel):
+            assert s.summarize() == p.summarize()
+
+    def test_order_is_input_order(self, configs):
+        outcomes = run_cells(configs, jobs=2)
+        assert [o.algorithm for o in outcomes] == [
+            "flooding", "random_walk", "flooding",
+        ]
+        assert outcomes[2].ledger.category_totals()  # real payload came back
+
+    def test_physical_network_parallel_matches_serial(self):
+        configs = [
+            scaled_config(
+                algo, "random", n_peers=40, n_queries=10, seed=2,
+            )
+            for algo in ("flooding", "random_walk")
+        ]
+        serial = run_cells(configs, jobs=1)
+        parallel = run_cells(configs, jobs=2)
+        for s, p in zip(serial, parallel):
+            assert s.summarize() == p.summarize()
+
+    def test_profiles_travel_back(self):
+        (outcome,) = run_cells([_tiny("flooding")], jobs=2, profile=True)
+        assert outcome.profile is not None
+        assert outcome.profile.events > 0
+
+
+class TestCrashIsolation:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failing_cell_reports_and_siblings_survive(self, jobs):
+        configs = [_tiny("flooding"), _bogus_config(), _tiny("random_walk")]
+        outcomes = run_cells(configs, jobs=jobs)
+        assert outcomes[0].algorithm == "flooding"
+        assert outcomes[2].algorithm == "random_walk"
+        failure = outcomes[1]
+        assert isinstance(failure, CellFailure)
+        assert failure.config.algorithm == "bogus"
+        assert "ValueError" in failure.traceback
+        assert "bogus" in failure.describe()
+
+    def test_replication_failure_raises_with_traceback(self, monkeypatch):
+        # RunConfig validation catches bad configs before any worker runs,
+        # so inject a runtime failure into the (serial) cell runner instead.
+        import repro.experiments.parallel as parallel_mod
+
+        real = parallel_mod.run_experiment
+
+        def flaky(config, **kwargs):
+            if config.seed == 1:
+                raise ValueError("injected replication failure")
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "run_experiment", flaky)
+        with pytest.raises(RuntimeError, match="injected replication failure"):
+            run_replications(_tiny("flooding"), n_seeds=2, jobs=1)
+
+
+class TestReplicationParallelism:
+    def test_parallel_replications_bit_identical(self):
+        config = _tiny("flooding")
+        serial = run_replications(config, n_seeds=3, jobs=1)
+        parallel = run_replications(config, n_seeds=3, jobs=2)
+        assert serial.seeds == parallel.seeds
+        assert serial.summaries == parallel.summaries
+        for name, spread in serial.metrics.items():
+            assert spread == parallel.metrics[name]
+
+
+class TestGridParallelism:
+    SCALE_KW = dict(
+        n_peers=120,
+        n_queries=40,
+        use_physical_network=False,
+        algorithms=("flooding", "random_walk"),
+        topologies=("random",),
+    )
+
+    def test_prefetched_grid_matches_serial(self):
+        serial = ExperimentGrid(ExperimentScale(**self.SCALE_KW))
+        parallel = ExperimentGrid(ExperimentScale(jobs=2, **self.SCALE_KW))
+        parallel.prefetch()
+        for algo in ("flooding", "random_walk"):
+            s = serial.result(algo, "random").summarize()
+            p = parallel.result(algo, "random").summarize()
+            assert s == p
+
+    def test_prefetch_is_idempotent(self):
+        grid = ExperimentGrid(ExperimentScale(jobs=2, **self.SCALE_KW))
+        grid.prefetch()
+        results = dict(grid._results)
+        grid.prefetch()  # all cells cached: no recompute, same objects
+        assert all(grid._results[k] is results[k] for k in results)
+
+    def test_metric_triggers_prefetch(self):
+        grid = ExperimentGrid(ExperimentScale(jobs=2, **self.SCALE_KW))
+        values = grid.metric(lambda r: r.success_rate())
+        assert set(values) == {"flooding", "random_walk"}
+
+
+class TestRunallParallel:
+    def test_report_bit_identical_across_jobs(self):
+        kw = dict(
+            n_peers=100,
+            n_queries=60,
+            seed=3,
+            use_physical_network=False,
+            algorithms=("flooding", "random_walk", "asap_rw"),
+            topologies=("random",),
+        )
+        serial = build_report(ExperimentScale(**kw))
+        parallel = build_report(ExperimentScale(jobs=2, **kw))
+        assert parallel == serial

@@ -1,0 +1,213 @@
+"""Walk-kernel speedup: vectorised kernels vs the retained reference loops.
+
+Measures the per-step cost of the walk hot paths on one overlay at
+(scaled-down) paper topology size, for both implementations of each path:
+
+* ASAP(RW) ad delivery -- ``RandomWalkAdForwarder.deliver`` (kernel) vs
+  ``deliver_reference`` (per-step loop);
+* ASAP(GSA) ad delivery -- kernel-chained fast path vs reference loop;
+* random-walk search    -- ``_search_impl`` (kernel + post-hoc heap
+  recovery) vs ``_search_loop`` (reference heap loop), miss and hit cases.
+
+Two numbers per path:
+
+* **call** -- wall-clock per delivery/search at the paper's budget
+  (``|T(ad)| x 3000`` messages for deliveries, 5 walkers x TTL 1024 for
+  search);
+* **per-step (marginal)** -- (t(hi budget) - t(lo budget)) / extra steps,
+  which cancels the per-call fixed costs (draw generation, ledger
+  records, report construction) both implementations share and isolates
+  the stepping cost the kernels vectorise.
+
+Timings are recorded, not asserted -- machines differ.  What *is*
+asserted is equivalence: each kernel path must produce the same visited
+set / message count / outcome as its reference on the benchmarked seeds.
+
+Scale control (environment variables):
+
+* ``REPRO_BENCH_KERNEL_PEERS``  -- overlay size (default 10000, the paper
+  topology size; CI smoke uses a few hundred);
+* ``REPRO_BENCH_KERNEL_ROUNDS`` -- timing rounds per measurement
+  (default 30; min is taken).
+
+Results land in ``benchmarks/results/walk_kernels.txt``.
+"""
+
+import gc
+import os
+import time
+
+import numpy as np
+
+from conftest import write_result
+from repro.asap.ads import Ad, AdType
+from repro.asap.delivery import make_forwarder
+from repro.network.overlay import Overlay
+from repro.network.topology import random_topology
+from repro.search.base import MessageSizes
+from repro.search.random_walk import RandomWalkSearch
+from repro.sim.metrics import BandwidthLedger
+from repro.workload.content import ContentIndex, Document
+
+N_PEERS = int(os.environ.get("REPRO_BENCH_KERNEL_PEERS", "10000"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_KERNEL_ROUNDS", "30"))
+AVG_DEGREE = 5.0  # paper overlay degree
+LATENCY_MS = 15.0
+SEED = 0
+
+AD = Ad(
+    source=3,
+    ad_type=AdType.FULL,
+    topics=frozenset({1, 2}),
+    version=1,
+    n_set_bits=40,
+)
+# Paper delivery budget is |T(ad)| x 3000; the workload's ads carry a
+# handful of topics (eDonkey trace: median 2, p90 4).
+BUDGET_LO = 3000  # |T| = 1
+BUDGET_HI = 15000  # |T| = 5
+SEARCH_TTL = 1024  # paper search: 5 walkers x TTL 1024
+
+
+def _overlay():
+    topo = random_topology(
+        n=N_PEERS, avg_degree=AVG_DEGREE, rng=np.random.default_rng(SEED)
+    )
+    ov = Overlay(topo, default_edge_latency_ms=LATENCY_MS)
+    ov.walk_csr()  # warm the per-epoch cache out of the timings
+    return ov
+
+
+def _time(fn):
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _delivery_rows(ov, kind):
+    rows = []
+    reports = {}
+    for path in ("deliver", "deliver_reference"):
+        fw = make_forwarder(
+            kind, ov, BandwidthLedger(), MessageSizes(), np.random.default_rng(7)
+        )
+        t_lo = _time(lambda: getattr(fw, path)(AD, now=0.0, budget=BUDGET_LO))
+        t_hi = _time(lambda: getattr(fw, path)(AD, now=0.0, budget=BUDGET_HI))
+        # Fixed-seed equivalence probe for the assertion below.
+        fw_eq = make_forwarder(
+            kind, ov, BandwidthLedger(), MessageSizes(), np.random.default_rng(11)
+        )
+        reports[path] = (
+            getattr(fw_eq, path)(AD, now=0.0, budget=BUDGET_HI),
+            fw_eq.ledger._buckets,
+        )
+        # Walk-only paths run the full budget; GSA's replication means
+        # steps != budget, so normalise by actual messages.
+        n_lo = getattr(fw, path)(AD, now=0.0, budget=BUDGET_LO).messages
+        n_hi = getattr(fw, path)(AD, now=0.0, budget=BUDGET_HI).messages
+        per_step = (t_hi - t_lo) / max(1, n_hi - n_lo)
+        rows.append((path, t_hi, per_step))
+    (k_report, k_buckets), (r_report, r_buckets) = (
+        reports["deliver"],
+        reports["deliver_reference"],
+    )
+    assert k_report.visited == r_report.visited
+    assert k_report.messages == r_report.messages
+    assert k_buckets == r_buckets
+    return rows
+
+
+def _search_rows(ov, holders, label, marginal):
+    """Miss case: marginal per-step over TTLs (the pure-walk regime).
+    Hit case: per charged step of one call (both paths stop at the hit,
+    so a TTL marginal would measure nothing)."""
+    content = ContentIndex()
+    content.register_document(
+        Document(doc_id=1, class_id=0, keywords=("rock",))
+    )
+    for h in holders:
+        content.place(h, 1)
+
+    def build(seed, ttl):
+        return RandomWalkSearch(
+            ov, content, BandwidthLedger(), rng=np.random.default_rng(seed), ttl=ttl
+        )
+
+    rows = []
+    outcomes = {}
+    for path in ("_search_impl", "_search_loop"):
+        algo = build(9, SEARCH_TTL)
+        t_hi = _time(lambda: getattr(algo, path)(0, ["rock"], 0.0))
+        algo_eq = build(13, SEARCH_TTL)
+        out = getattr(algo_eq, path)(0, ["rock"], 0.0)
+        outcomes[path] = (
+            out.success,
+            out.response_time_ms,
+            out.messages,
+            out.cost_bytes,
+        )
+        if marginal:
+            algo_lo = build(9, SEARCH_TTL // 4)
+            t_lo = _time(lambda: getattr(algo_lo, path)(0, ["rock"], 0.0))
+            per_step = (t_hi - t_lo) / (5 * (SEARCH_TTL - SEARCH_TTL // 4))
+        else:
+            per_step = t_hi / max(1, out.messages)
+        rows.append((f"{path} ({label})", t_hi, per_step))
+    assert outcomes["_search_impl"] == outcomes["_search_loop"]
+    return rows
+
+
+def bench_walk_kernels(benchmark):
+    def run():
+        gc.collect()
+        gc.disable()
+        try:
+            ov = _overlay()
+            sections = [
+                ("rw delivery", _delivery_rows(ov, "rw")),
+                ("gsa delivery", _delivery_rows(ov, "gsa")),
+                (
+                    "rw search miss",
+                    _search_rows(ov, (), "miss", marginal=True),
+                ),
+                (
+                    "rw search hit",
+                    _search_rows(
+                        ov, range(13, N_PEERS, 97), "hit", marginal=False
+                    ),
+                ),
+            ]
+        finally:
+            gc.enable()
+        return sections
+
+    sections = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Walk kernels: vectorised stepping vs retained reference loops",
+        f"({N_PEERS} peers, avg degree {AVG_DEGREE:.0f}, flat {LATENCY_MS:.0f} ms "
+        f"edges, delivery budget {BUDGET_HI}, search 5x{SEARCH_TTL}, "
+        f"min of {ROUNDS} rounds)",
+        "",
+        f"{'path':34s} {'call ms':>9} {'step ns':>9} {'step speedup':>13}",
+    ]
+    for title, rows in sections:
+        (k_name, k_call, k_step), (r_name, r_call, r_step) = rows
+        speedup = r_step / k_step if k_step > 0 else float("inf")
+        lines.append(
+            f"{title + ': kernel':34s} {k_call * 1e3:>9.2f} {k_step * 1e9:>9.0f} "
+            f"{speedup:>12.2f}x"
+        )
+        lines.append(
+            f"{title + ': reference':34s} {r_call * 1e3:>9.2f} {r_step * 1e9:>9.0f}"
+        )
+    lines.append("")
+    lines.append(
+        "per-step = marginal cost between budgets (cancels shared per-call "
+        "fixed costs); equivalence of kernel vs reference outputs is "
+        "asserted on separate fixed seeds."
+    )
+    write_result("walk_kernels", "\n".join(lines))

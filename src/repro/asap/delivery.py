@@ -15,6 +15,14 @@ deliveries take tens of simulated seconds, so their bytes are bucketed into
 the per-second ledger along the walk's actual timeline -- this is what makes
 ASAP's background load appear smooth in the Figure 10 reproduction rather
 than spiking at delivery start.
+
+The walk-based forwarders run on the shared walk kernels
+(:mod:`repro.sim.kernels`): stepping over plain-list CSR mirrors with
+vectorised latency/bucket/visited post-processing.  Each forwarder retains
+its original per-step loop as ``deliver_reference`` -- the differential
+tests (``tests/test_walk_kernels_differential.py``) assert the kernel path
+reproduces it bit-for-bit (visited sets, message counts, per-second ledger
+buckets).
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from repro.network.overlay import Overlay
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.search.base import MessageSizes
 from repro.search.flooding import flood_reach
+from repro.sim import kernels
 from repro.sim.metrics import BandwidthLedger
 
 __all__ = [
@@ -163,7 +172,11 @@ class _WalkForwarderBase(AdForwarder):
 
 
 class RandomWalkAdForwarder(_WalkForwarderBase):
-    """ASAP(RW): walkers carry the ad; every visited node receives it."""
+    """ASAP(RW): walkers carry the ad; every visited node receives it.
+
+    ``deliver`` runs on the vectorised walk kernel; ``deliver_reference``
+    is the retained per-step loop the differential tests compare against.
+    """
 
     kind = "rw"
 
@@ -175,13 +188,40 @@ class RandomWalkAdForwarder(_WalkForwarderBase):
         total_budget = budget if budget is not None else self.default_budget(ad)
         per_walker = max(1, total_budget // self.walkers)
         ad_size = ad.size_bytes(self.sizes)
+        csr = self.overlay.walk_csr()
+        draws = self.rng.random((self.walkers, per_walker))
+        visited_arr, n_messages, buckets = kernels.rw_delivery(
+            csr, ad.source, draws, now, ad_size
+        )
+        # visited_arr is sorted; drop the source (if present) in place
+        # rather than round-tripping through a mutable set.
+        k = int(np.searchsorted(visited_arr, ad.source))
+        if k < len(visited_arr) and visited_arr[k] == ad.source:
+            visited_arr = np.delete(visited_arr, k)
+        self._record(ad, buckets, n_messages)
+        report = DeliveryReport(
+            visited=frozenset(visited_arr.tolist()),
+            messages=n_messages,
+            bytes=float(n_messages * ad_size),
+        )
+        if self.tracer.enabled:
+            self._trace_delivery(ad, now, report)
+        return report
+
+    def deliver_reference(
+        self, ad: Ad, now: float, budget: Optional[int] = None
+    ) -> DeliveryReport:
+        """Reference per-step loop (pre-kernel semantics, kept for tests)."""
+        if not self.overlay.is_live(ad.source):
+            return DeliveryReport(visited=frozenset(), messages=0, bytes=0.0)
+        total_budget = budget if budget is not None else self.default_budget(ad)
+        per_walker = max(1, total_budget // self.walkers)
+        ad_size = ad.size_bytes(self.sizes)
         rng = self.rng
         indptr, indices, lats = self.overlay.live_csr()
         visited: Set[int] = set()
         buckets: Dict[int, float] = defaultdict(float)
         n_messages = 0
-        # Pre-draw the uniform variates; the walk itself is a tight loop of
-        # integer indexing over the live-CSR arrays (hot path at scale).
         draws = rng.random((self.walkers, per_walker))
         for w in range(self.walkers):
             node = ad.source
@@ -211,13 +251,97 @@ class RandomWalkAdForwarder(_WalkForwarderBase):
 
 
 class GsaAdForwarder(_WalkForwarderBase):
-    """ASAP(GSA): walkers replicate the ad to each visited node's neighbours."""
+    """ASAP(GSA): walkers replicate the ad to each visited node's neighbours.
+
+    ``deliver`` is the partially-vectorised fast path: walk trajectories
+    come from the shared kernel chain (generated in chunks, since one-hop
+    replication usually exhausts the budget well before the draw matrix),
+    while the visited-set replication remains a per-step loop over a
+    bytearray membership table.  ``deliver_reference`` keeps the original
+    loop for the differential tests.
+
+    Draw sizing: a delivery takes at most ``per_walker`` walk steps per
+    walker (each step consumes at least one unit of that walker's budget),
+    so the ``(walkers, per_walker)`` draw matrix can never be out-run and
+    every uniform is consumed at most once.  (An earlier revision indexed
+    the row modulo ``per_walker``, which *looked* like it could re-consume
+    draws; the bound above means the wrap was unreachable and removing it
+    leaves every seeded trajectory unchanged.)
+    """
 
     kind = "gsa"
 
     def deliver(
         self, ad: Ad, now: float, budget: Optional[int] = None
     ) -> DeliveryReport:
+        if not self.overlay.is_live(ad.source):
+            return DeliveryReport(visited=frozenset(), messages=0, bytes=0.0)
+        total_budget = budget if budget is not None else self.default_budget(ad)
+        per_walker = max(1, total_budget // self.walkers)
+        ad_size = ad.size_bytes(self.sizes)
+        csr = self.overlay.walk_csr()
+        ip, dg, ix, lat_l = csr.ip, csr.dg, csr.ix, csr.lat_l
+        source = ad.source
+        visited = bytearray(csr.n)
+        buckets: Dict[int, float] = defaultdict(float)
+        n_messages = 0
+        draws = self.rng.random((self.walkers, per_walker))
+        chunk = kernels.CHUNK_STEPS
+        for w in range(self.walkers):
+            row = draws[w].tolist()
+            chain: list = []
+            gen_node = source
+            ci = 0
+            elapsed_ms = 0.0
+            remaining = per_walker
+            while remaining > 0:
+                if ci == len(chain):
+                    taken, gen_node = kernels.chain_steps(
+                        csr, gen_node, row[ci : ci + chunk], chain
+                    )
+                    if not taken:
+                        break  # stranded on a node with no live neighbours
+                j = chain[ci]
+                ci += 1
+                node = ix[j]
+                elapsed_ms += lat_l[j]
+                visited[node] = 1
+                n_messages += 1
+                remaining -= 1
+                second = int(now + elapsed_ms / 1000.0)
+                buckets[second] += ad_size
+                # One-hop replication from the visited node, skipping nodes
+                # this delivery already reached (budget buys distinct
+                # coverage).
+                lo = ip[node]
+                n_push = 0
+                for p in ix[lo : lo + dg[node]]:
+                    if n_push >= remaining:
+                        break
+                    if visited[p] or p == source:
+                        continue
+                    visited[p] = 1
+                    n_push += 1
+                if n_push > 0:
+                    n_messages += n_push
+                    remaining -= n_push
+                    buckets[second] += n_push * ad_size
+        visited[source] = 0
+        visited_ids = np.nonzero(np.frombuffer(visited, dtype=np.uint8))[0]
+        self._record(ad, buckets, n_messages)
+        report = DeliveryReport(
+            visited=frozenset(visited_ids.tolist()),
+            messages=n_messages,
+            bytes=float(n_messages * ad_size),
+        )
+        if self.tracer.enabled:
+            self._trace_delivery(ad, now, report)
+        return report
+
+    def deliver_reference(
+        self, ad: Ad, now: float, budget: Optional[int] = None
+    ) -> DeliveryReport:
+        """Reference per-step loop (pre-kernel semantics, kept for tests)."""
         if not self.overlay.is_live(ad.source):
             return DeliveryReport(visited=frozenset(), messages=0, bytes=0.0)
         total_budget = budget if budget is not None else self.default_budget(ad)
@@ -240,7 +364,10 @@ class GsaAdForwarder(_WalkForwarderBase):
                 deg = indptr[node + 1] - lo
                 if deg == 0:
                     break
-                j = lo + int(row[step % per_walker] * deg)
+                # ``step`` can never reach ``per_walker``: every iteration
+                # consumes at least one budget unit, so the draw row is
+                # always long enough (see the class docstring).
+                j = lo + int(row[step] * deg)
                 step += 1
                 node = int(indices[j])
                 elapsed_ms += lats[j]
@@ -248,9 +375,6 @@ class GsaAdForwarder(_WalkForwarderBase):
                 n_messages += 1
                 remaining -= 1
                 buckets[int(now + elapsed_ms / 1000.0)] += ad_size
-                # One-hop replication from the visited node, skipping nodes
-                # this delivery already reached (budget buys distinct
-                # coverage).
                 lo2 = indptr[node]
                 deg2 = indptr[node + 1] - lo2
                 n_push = 0

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.network.latency import LatencyModel
 from repro.network.topology import OverlayTopology
+from repro.sim.kernels import WalkCsr
 
 __all__ = ["Overlay"]
 
@@ -52,6 +53,7 @@ class Overlay:
     ) -> None:
         self.topology = topology
         self.latency = latency
+        self.default_edge_latency_ms = default_edge_latency_ms
         self._n = topology.n
         if initially_live is None:
             self._live = np.ones(self._n, dtype=bool)
@@ -107,6 +109,7 @@ class Overlay:
         self._live_edge_cache: Optional[Tuple[int, Tuple[np.ndarray, ...]]] = None
         self._live_degree_cache: Optional[Tuple[int, np.ndarray]] = None
         self._live_csr_cache: Optional[Tuple[int, Tuple[np.ndarray, ...]]] = None
+        self._walk_csr_cache: Optional[Tuple[int, WalkCsr]] = None
 
     # ------------------------------------------------------------- liveness
     @property
@@ -216,6 +219,23 @@ class Overlay:
         self._live_csr_cache = (self.epoch, result)
         return result
 
+    def walk_csr(self) -> WalkCsr:
+        """The live CSR prepared for the walk kernels, cached per epoch.
+
+        Wraps :meth:`live_csr` in a :class:`repro.sim.kernels.WalkCsr`
+        (plain-list mirrors for the stepping recurrence + the NumPy arrays
+        for vectorised post-processing).  The list mirrors cost O(E) to
+        build, so like the other live views they are built once per churn
+        epoch and shared by every delivery/search until the next
+        join/leave.
+        """
+        cached = self._walk_csr_cache
+        if cached is not None and cached[0] == self.epoch:
+            return cached[1]
+        csr = WalkCsr(*self.live_csr())
+        self._walk_csr_cache = (self.epoch, csr)
+        return csr
+
     def neighbors(self, node: int) -> np.ndarray:
         """All wired neighbours regardless of liveness."""
         return self._adj_nodes[node]
@@ -225,20 +245,26 @@ class Overlay:
 
     # -------------------------------------------------------------- latency
     def direct_latency_ms(self, u: int, v: int) -> float:
-        """One-way physical latency between two overlay nodes (for RTTs)."""
+        """One-way physical latency between two overlay nodes (for RTTs).
+
+        With a latency model this is the exact physical-path latency
+        between the endpoints' physical nodes.  Without one, every
+        distinct pair costs ``default_edge_latency_ms`` (``u == v`` is
+        free) -- a flat latency world, matching what the walk latencies
+        default to.  Explicit ``edge_latencies_ms`` arrays only describe
+        *overlay edges*; they carry no information about arbitrary pairs,
+        so the flat default applies to direct (off-overlay) hops too.
+        """
         if self.latency is None:
-            return 0.0 if u == v else float(self._edge_lat_ms[0]) if len(
-                self._edge_lat_ms
-            ) else 0.0
+            return 0.0 if u == v else self.default_edge_latency_ms
         phys = self.topology.physical_ids
         return self.latency.latency_ms(int(phys[u]), int(phys[v]))
 
     def direct_latencies_ms(self, u: int, vs: np.ndarray) -> np.ndarray:
-        """Vectorised one-way latency from ``u`` to each node in ``vs``."""
+        """Vectorised :meth:`direct_latency_ms` from ``u`` to each of ``vs``."""
         vs = np.asarray(vs, dtype=np.int64)
         if self.latency is None:
-            base = float(self._edge_lat_ms[0]) if len(self._edge_lat_ms) else 0.0
-            out = np.full(vs.shape, base)
+            out = np.full(vs.shape, self.default_edge_latency_ms, dtype=np.float64)
             out[vs == u] = 0.0
             return out
         phys = self.topology.physical_ids

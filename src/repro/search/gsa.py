@@ -17,6 +17,23 @@ exists; this module is our documented interpretation (DESIGN.md section 3):
 This yields GSA's published qualitative profile, which the paper reproduces:
 better success than plain random walk, response time comparable to
 flooding, message cost between the two.
+
+Implementation notes:
+
+* The walk is genuinely event-ordered (walkers interleave through a heap
+  and share the ``seen`` set, so execution order matters); it cannot be
+  truncated post hoc like the plain random walk.  Instead the hot loop
+  runs over the walk kernel's plain-list CSR mirrors
+  (:meth:`Overlay.walk_csr`) with bytearray membership tables for ``seen``
+  and the matching set -- same semantics, a fraction of the per-step cost.
+* Draw sizing: a walker executes at most ``per_walker`` steps (each step
+  consumes at least one budget unit), so the ``(walkers, per_walker)``
+  draw matrix is always long enough and every uniform is consumed at most
+  once.  (An earlier revision indexed the row modulo ``per_walker``; the
+  bound above means that wrap was unreachable, so removing it changes no
+  seeded trajectory.)
+* The reply's bytes land in the ledger at the reply's *arrival* time
+  (hit time + direct reply hop), matching the random-walk baseline.
 """
 
 from __future__ import annotations
@@ -59,7 +76,9 @@ class GsaSearch(SearchAlgorithm):
         matching = self._matching_live_nodes(terms, exclude=requester)
         rng = self.rng
         per_walker = max(1, self.budget // self.walkers)
-        indptr, indices, lats = self.overlay.live_csr()
+        csr = self.overlay.walk_csr()
+        ip, dg, ix, lat_l = csr.ip, csr.dg, csr.ix, csr.lat_l
+        query_size = self.sizes.query
 
         heap = [(0.0, w) for w in range(self.walkers)]
         positions = [requester] * self.walkers
@@ -70,57 +89,60 @@ class GsaSearch(SearchAlgorithm):
         hit_time_ms = math.inf
         hit_node: Optional[int] = None
         draws = rng.random((self.walkers, per_walker))
+        rows = [draws[w].tolist() for w in range(self.walkers)]
         # Nodes already holding this query (visited or probed): probing them
         # again is pure waste, so the implementation skips them -- budget
         # buys distinct coverage, which is the point of hybrid search.
-        seen = {requester}
+        seen = bytearray(csr.n)
+        seen[requester] = 1
+        match_flags = bytearray(csr.n)
+        for m in matching:
+            match_flags[m] = 1
 
         while heap:
             elapsed, w = heapq.heappop(heap)
             if elapsed >= hit_time_ms or budgets[w] <= 0:
                 continue
             node = positions[w]
-            lo = indptr[node]
-            deg = indptr[node + 1] - lo
+            deg = dg[node]
             if deg == 0:
                 continue
-            j = lo + int(draws[w, steps[w] % per_walker] * deg)
+            j = ip[node] + int(rows[w][steps[w]] * deg)
             steps[w] += 1
-            nxt = int(indices[j])
-            arrival = elapsed + lats[j]
+            nxt = ix[j]
+            arrival = elapsed + lat_l[j]
             positions[w] = nxt
             budgets[w] -= 1
             n_messages += 1
-            seen.add(nxt)
-            buckets[int(now + arrival / 1000.0)] += self.sizes.query
+            seen[nxt] = 1
+            buckets[int(now + arrival / 1000.0)] += query_size
 
-            if nxt in matching and arrival < hit_time_ms:
+            if match_flags[nxt] and arrival < hit_time_ms:
                 hit_time_ms = arrival
                 hit_node = nxt
 
             # One-hop lookahead: probe the new node's not-yet-seen live
             # neighbours.
-            lo2 = indptr[nxt]
-            deg2 = indptr[nxt + 1] - lo2
+            lo2 = ip[nxt]
             n_probed = 0
-            for k in range(deg2):
-                if n_probed >= budgets[w]:
+            budget_w = budgets[w]
+            for k, p in enumerate(ix[lo2 : lo2 + dg[nxt]]):
+                if n_probed >= budget_w:
                     break
-                p = int(indices[lo2 + k])
-                if p in seen:
+                if seen[p]:
                     continue
-                seen.add(p)
+                seen[p] = 1
                 n_probed += 1
-                if p in matching:
+                if match_flags[p]:
                     # Probe out + answer back to the visited node.
-                    t = arrival + 2.0 * lats[lo2 + k]
+                    t = arrival + 2.0 * lat_l[lo2 + k]
                     if t < hit_time_ms:
                         hit_time_ms = t
                         hit_node = p
             if n_probed > 0:
                 budgets[w] -= n_probed
                 n_messages += n_probed
-                buckets[int(now + arrival / 1000.0)] += n_probed * self.sizes.query
+                buckets[int(now + arrival / 1000.0)] += n_probed * query_size
 
             if budgets[w] > 0:
                 heapq.heappush(heap, (arrival, w))
@@ -133,9 +155,10 @@ class GsaSearch(SearchAlgorithm):
         if hit_node is None:
             return self._failure(n_messages, cost_bytes)
 
+        # Reply bytes arrive at the requester after the direct reply hop.
         reply_lat = self.overlay.direct_latency_ms(hit_node, requester)
         self.ledger.record(
-            now + hit_time_ms / 1000.0,
+            now + (hit_time_ms + reply_lat) / 1000.0,
             TrafficCategory.QUERY_RESPONSE,
             self.sizes.query_response,
             messages=1,

@@ -5,11 +5,24 @@ random live neighbour, checking every visited node for a document matching
 all query terms.  Following Lv et al.'s "checking" termination, all walkers
 stop once the first walker finds a match (walkers that are mid-flight at
 the success instant are charged for the steps they took up to that time).
-The successful node replies to the requester directly.
+The successful node replies to the requester directly; the reply's bytes
+are recorded at the reply's *arrival* time (hit time + the direct reply
+hop), so the Figure 10 per-second series places them when the requester
+actually receives them.
 
-Walkers step in *wall-clock order* (a small heap over the 5 walkers keyed
-by each walker's accumulated path latency), so the message accounting and
-the per-second load series reflect genuinely concurrent walks.
+Two equivalent implementations exist:
+
+* ``_search_impl`` runs on the vectorised walk kernel
+  (:mod:`repro.sim.kernels`): full trajectories in chunks, with the heap
+  cut-off recovered post hoc -- with strictly positive edge latencies the
+  first hit is the minimum match arrival over the full trajectories, and a
+  step is charged iff it *started* before that instant (proof sketch in
+  docs/PERFORMANCE.md).
+* ``_search_loop`` is the retained reference: walkers step in wall-clock
+  order via a small heap keyed by accumulated path latency.  It is used
+  directly when an overlay has non-positive edge latencies (where the
+  truncation argument does not hold) and by the differential tests, which
+  assert the two paths agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -22,6 +35,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.search.base import SearchAlgorithm, SearchOutcome
+from repro.sim import kernels
 from repro.sim.metrics import TrafficCategory
 
 __all__ = ["RandomWalkSearch"]
@@ -44,6 +58,32 @@ class RandomWalkSearch(SearchAlgorithm):
     def _search_impl(
         self, requester: int, terms: Sequence[str], now: float
     ) -> SearchOutcome:
+        if self._local_hit(requester, terms):
+            return self._local_outcome()
+
+        csr = self.overlay.walk_csr()
+        if not csr.lats_positive:
+            # Zero/negative edge latency breaks the post-hoc truncation
+            # proof; fall back to the event-ordered reference loop.
+            return self._search_loop(requester, terms, now)
+
+        matching = self._matching_live_nodes(terms, exclude=requester)
+        draws = self.rng.random((self.walkers, self.ttl))
+        match = np.zeros(self.overlay.n, dtype=bool)
+        if matching:
+            match[list(matching)] = True
+
+        res = kernels.rw_search(
+            csr, requester, draws, match, now, self.sizes.query
+        )
+        return self._finish(requester, now, res.n_messages, res.buckets,
+                            res.hit_time_ms, res.hit_node)
+
+    def _search_loop(
+        self, requester: int, terms: Sequence[str], now: float
+    ) -> SearchOutcome:
+        """Reference heap-ordered walk (pre-kernel semantics, kept for
+        tests and as the non-positive-latency fallback)."""
         if self._local_hit(requester, terms):
             return self._local_outcome()
 
@@ -87,6 +127,25 @@ class RandomWalkSearch(SearchAlgorithm):
             if steps_taken[w] < self.ttl:
                 heapq.heappush(heap, (elapsed, w))
 
+        return self._finish(
+            requester,
+            now,
+            n_messages,
+            buckets,
+            None if hit_node is None else hit_time_ms,
+            hit_node,
+        )
+
+    def _finish(
+        self,
+        requester: int,
+        now: float,
+        n_messages: int,
+        buckets: Dict[int, float],
+        hit_time_ms: Optional[float],
+        hit_node: Optional[int],
+    ) -> SearchOutcome:
+        """Shared accounting tail: ledger records + outcome construction."""
         for second, nbytes in buckets.items():
             self.ledger.record(second + 0.5, TrafficCategory.QUERY, nbytes, messages=0)
         # Message counts recorded once (byte buckets already carry the bytes).
@@ -96,10 +155,11 @@ class RandomWalkSearch(SearchAlgorithm):
         if hit_node is None:
             return self._failure(n_messages, cost_bytes)
 
-        # Direct reply from the hit node to the requester.
+        # Direct reply from the hit node to the requester, recorded at the
+        # reply's arrival (hit + reply hop), not at the hit instant.
         reply_lat = self.overlay.direct_latency_ms(hit_node, requester)
         self.ledger.record(
-            now + hit_time_ms / 1000.0,
+            now + (hit_time_ms + reply_lat) / 1000.0,
             TrafficCategory.QUERY_RESPONSE,
             self.sizes.query_response,
             messages=1,

@@ -1,0 +1,428 @@
+"""Vectorised walk kernels: batched stepping for walk-based delivery/search.
+
+The paper's walk machinery -- ASAP(RW)/ASAP(GSA) ad dissemination with a
+``|T(ad)| x 3,000`` message budget and the 5-walker / TTL-1024 random-walk
+baseline -- executes tens of millions of walk steps per paper-scale run.
+This module centralises that hot path so the per-step cost is paid once,
+in optimised form, instead of once per call site.
+
+Design (see docs/PERFORMANCE.md, "Walk kernels"):
+
+* **Neighbour selection is an irreducible recurrence** -- the node visited
+  at step ``t+1`` depends on the node at step ``t`` -- so it cannot be
+  expressed as one NumPy expression along the step axis, and lockstep
+  NumPy across the paper's 5 walkers loses to per-element overhead.  The
+  kernel therefore runs the recurrence over *plain-list* mirrors of the
+  live-CSR arrays (:class:`WalkCsr`), which makes each step a handful of
+  list indexings instead of NumPy scalar extractions (~7x cheaper per
+  step), and consumes the pre-drawn ``(walkers, steps)`` uniform matrix in
+  exactly the reference order so trajectories are **bit-identical**.
+* **Everything after the recurrence is vectorised**: per-step edge
+  latencies are gathered with fancy indexing, elapsed time is a per-walker
+  ``np.cumsum`` (NumPy's cumsum accumulates strictly left-to-right, so the
+  floats match the reference loop's sequential additions bit-for-bit),
+  per-second byte bucketing is an ``np.bincount`` over truncated arrival
+  seconds, and visited sets come from a single ``bincount``/``nonzero``
+  pass.
+
+The kernels are pure functions over :class:`WalkCsr` + a draw matrix; all
+ledger writes stay in the callers so the accounting code path is shared
+with the retained reference loops that the differential tests compare
+against.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import chain as chain_iter_
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+chain_iter = chain_iter_.from_iterable
+
+__all__ = [
+    "WalkCsr",
+    "RwSearchResult",
+    "bucket_bytes",
+    "chain_nodes",
+    "chain_steps",
+    "rw_delivery",
+    "rw_search",
+    "segmented_cumsum",
+]
+
+#: First-chunk size for chunked walks (doubles every round).  Small at
+#: first because searches over well-replicated content hit within a few
+#: steps -- a large opening chunk would generate (and discard) far more
+#: trajectory than the search ever charges; geometric growth keeps the
+#: full-TTL miss case at O(log ttl) vectorisation rounds.
+CHUNK_STEPS = 16
+
+
+class WalkCsr:
+    """A live-CSR view prepared for the walk kernels.
+
+    Wraps the ``(indptr, indices, latencies)`` arrays of
+    :meth:`repro.network.overlay.Overlay.live_csr` and mirrors them into
+    plain Python lists: the stepping recurrence indexes lists (fast
+    scalars), while the vectorised post-processing fancy-indexes the NumPy
+    arrays.  Build once per churn epoch and reuse (the overlay caches it).
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "lats",
+        "deg",
+        "ip",
+        "dg",
+        "ix",
+        "lat_l",
+        "nbr",
+        "dgf",
+        "n",
+        "lats_positive",
+    )
+
+    def __init__(
+        self, indptr: np.ndarray, indices: np.ndarray, lats: np.ndarray
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.lats = lats
+        self.deg: np.ndarray = np.diff(indptr)
+        self.ip: List[int] = indptr.tolist()
+        self.dg: List[int] = self.deg.tolist()
+        self.ix: List[int] = indices.tolist()
+        self.lat_l: List[float] = lats.tolist()
+        self.n = len(indptr) - 1
+        # Per-node neighbour lists: one small-list index per step instead
+        # of three big-list indexings (see chain_nodes).
+        ix, ip = self.ix, self.ip
+        self.nbr: List[List[int]] = [
+            ix[ip[u] : ip[u + 1]] for u in range(self.n)
+        ]
+        # Degrees as floats: ``u * dgf[node]`` is then a float*float
+        # multiply, identical to the reference's ``u * deg`` (Python
+        # converts the int operand to the same float -- degrees are far
+        # below 2**53) but without a len() call per step.
+        self.dgf: List[float] = [float(d) for d in self.dg]
+        # Positive latencies guarantee strictly increasing per-walker
+        # arrival times, which the post-hoc search truncation relies on.
+        self.lats_positive = bool(np.all(lats > 0.0)) if len(lats) else True
+
+
+def chain_steps(
+    csr: WalkCsr, node: int, row: List[float], out: List[int]
+) -> Tuple[int, int]:
+    """Walk one walker along ``row``'s uniforms, appending edge ids to ``out``.
+
+    Starts at ``node``; each uniform ``u`` selects live neighbour
+    ``floor(u * degree)`` exactly as the reference loops do
+    (``int(u * deg)`` on the same IEEE values, so the trajectory is
+    bit-identical).  Stops early if the walker strands on a node with no
+    live neighbours.  Returns ``(steps_taken, final_node)``.
+    """
+    ip = csr.ip
+    dgf = csr.dgf
+    ix = csr.ix
+    append = out.append
+    before = len(out)
+    for u in row:
+        d = dgf[node]
+        if not d:
+            break
+        j = ip[node] + int(u * d)
+        append(j)
+        node = ix[j]
+    return len(out) - before, node
+
+
+def chain_nodes(
+    csr: WalkCsr, node: int, row: List[float], out: List[int]
+) -> Tuple[int, int]:
+    """Like :func:`chain_steps` but appends *node ids* instead of edge ids.
+
+    The leanest form of the recurrence (one small-list index per step);
+    used by :func:`rw_delivery`, which recovers the edge ids afterwards in
+    one vectorised pass (the edge chosen at a step is a pure function of
+    the step's start node and uniform:
+    ``indptr[prev] + int(u * deg[prev])``).  Returns
+    ``(steps_taken, final_node)``.
+    """
+    nbr = csr.nbr
+    append = out.append
+    before = len(out)
+    for u in row:
+        lst = nbr[node]
+        d = len(lst)
+        if not d:
+            break
+        node = lst[int(u * d)]
+        append(node)
+    return len(out) - before, node
+
+
+def segmented_cumsum(values: np.ndarray, lens: List[int]) -> np.ndarray:
+    """Per-segment running sums of ``values`` (segments laid end to end).
+
+    Each segment restarts at zero; within a segment ``np.cumsum``
+    accumulates left-to-right, reproducing the reference loops'
+    ``elapsed += lat`` additions bit-for-bit.
+    """
+    out = np.empty_like(values)
+    offset = 0
+    for length in lens:
+        np.cumsum(values[offset : offset + length], out=out[offset : offset + length])
+        offset += length
+    return out
+
+
+def bucket_bytes(
+    now: float, elapsed_ms: np.ndarray, size_bytes: float
+) -> Dict[int, float]:
+    """Per-second byte buckets: ``{int(now + e/1000): k * size_bytes}``.
+
+    Equivalent to the reference loops' ``buckets[int(now + e/1000)] +=
+    size`` accumulation.  For integral ``size_bytes`` (every wire size in
+    this codebase is a whole number of bytes) ``count * size`` equals the
+    repeated float addition exactly; non-integral sizes take an
+    ``np.add.at`` path that performs the additions per element, in step
+    order, to preserve the reference's accumulation order.
+    """
+    if len(elapsed_ms) == 0:
+        return {}
+    secs = (now + elapsed_ms / 1000.0).astype(np.int64)
+    smin = int(secs.min())
+    if float(size_bytes) == float(int(size_bytes)):
+        counts = np.bincount(secs - smin)
+        nz = np.nonzero(counts)[0]
+        return {int(s) + smin: float(counts[s]) * size_bytes for s in nz}
+    acc = np.zeros(int(secs.max()) - smin + 1, dtype=np.float64)
+    np.add.at(acc, secs - smin, size_bytes)
+    nz = np.nonzero(acc)[0]
+    return {int(s) + smin: float(acc[s]) for s in nz}
+
+
+def distinct_nodes(csr: WalkCsr, nodes: np.ndarray) -> np.ndarray:
+    """Distinct node ids in ``nodes`` (ascending), via one bincount pass."""
+    if len(nodes) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.nonzero(np.bincount(nodes, minlength=csr.n))[0]
+
+
+# --------------------------------------------------------------- delivery
+def rw_delivery(
+    csr: WalkCsr,
+    source: int,
+    draws: np.ndarray,
+    now: float,
+    size_bytes: float,
+) -> Tuple[np.ndarray, int, Dict[int, float]]:
+    """ASAP(RW) delivery: every walker walks its full draw row.
+
+    Returns ``(visited_nodes, n_messages, buckets)`` where
+    ``visited_nodes`` are the distinct nodes stepped onto (``source``
+    included if a walk returned to it -- the caller excludes it, matching
+    the reference), ``n_messages`` counts every step, and ``buckets`` maps
+    ledger seconds to bytes.
+    """
+    walkers = draws.shape[0]
+    nbr = csr.nbr
+    dgf = csr.dgf
+    chains: List[List[int]] = []
+    lens: List[int] = []
+    for w in range(walkers):
+        row = draws[w].tolist()
+        node = source
+        try:
+            # The recurrence as a list comprehension: the comprehension
+            # loop runs in C, leaving only the per-step index arithmetic
+            # in Python (~20% faster than an explicit for loop).  An
+            # empty neighbour list raises IndexError (int(u * 0.0) == 0),
+            # which only happens when the walker strands -- rare enough
+            # to recompute that walker with the careful loop.
+            chain = [node := nbr[node][int(u * dgf[node])] for u in row]
+        except IndexError:
+            chain = []
+            chain_nodes(csr, source, row, chain)
+        chains.append(chain)
+        lens.append(len(chain))
+    total = sum(lens)
+    if not total:
+        return np.empty(0, dtype=np.int64), 0, {}
+    nodes = np.fromiter(chain_iter(chains), np.int64, total)
+    # Recover the edge ids vectorised: step t started at the previous
+    # step's node (the walker's source for t=0) and chose edge
+    # ``indptr[prev] + int(u * deg[prev])`` -- the same IEEE multiply and
+    # truncation chain_nodes used, just batched.
+    prev = np.empty(len(nodes), dtype=np.int64)
+    prev[1:] = nodes[:-1]
+    u_parts: List[np.ndarray] = []
+    offset = 0
+    for w, taken in enumerate(lens):
+        if taken:
+            prev[offset] = source
+            u_parts.append(draws[w, :taken])
+            offset += taken
+    u = u_parts[0] if len(u_parts) == 1 else np.concatenate(u_parts)
+    jarr = csr.indptr[prev] + (u * csr.deg[prev]).astype(np.int64)
+    elapsed = segmented_cumsum(csr.lats[jarr], lens)
+    buckets = bucket_bytes(now, elapsed, size_bytes)
+    visited = distinct_nodes(csr, nodes)
+    return visited, total, buckets
+
+
+# ----------------------------------------------------------------- search
+class RwSearchResult:
+    """Outcome of one kernel-run k-walker search."""
+
+    __slots__ = ("n_messages", "buckets", "hit_time_ms", "hit_node")
+
+    def __init__(
+        self,
+        n_messages: int,
+        buckets: Dict[int, float],
+        hit_time_ms: Optional[float],
+        hit_node: Optional[int],
+    ) -> None:
+        self.n_messages = n_messages
+        self.buckets = buckets
+        self.hit_time_ms = hit_time_ms
+        self.hit_node = hit_node
+
+
+def rw_search(
+    csr: WalkCsr,
+    start: int,
+    draws: np.ndarray,
+    match: np.ndarray,
+    now: float,
+    query_bytes: float,
+) -> RwSearchResult:
+    """k-walker random-walk search with checking termination, vectorised.
+
+    Requires ``csr.lats_positive`` (callers fall back to the reference
+    heap loop otherwise).  Trajectories are computed in geometrically
+    growing chunks (``CHUNK_STEPS``, then doubling): early hits waste at
+    most one chunk's worth of steps per walker, while a full-TTL miss
+    pays the per-chunk vectorisation overhead only ``O(log(ttl))`` times.
+    Walkers whose elapsed time has passed the best known hit are retired
+    at chunk boundaries.  The heap semantics of the reference
+    implementation are recovered post hoc (see docs/PERFORMANCE.md for
+    the proof sketch):
+
+    * with strictly positive latencies, the final hit time equals the
+      minimum match arrival over the walkers' *full* trajectories;
+    * a step is charged iff its start time (the previous arrival) is
+      strictly before the hit time;
+    * among simultaneous earliest matches, the winner is the event with
+      the lexicographically smallest ``(start_time, walker)`` -- exactly
+      the first one the reference heap would process.
+    """
+    walkers, ttl = draws.shape
+    lats = csr.lats
+    nbr = csr.nbr
+    dgf = csr.dgf
+
+    arrival_segs: List[List[np.ndarray]] = [[] for _ in range(walkers)]
+    positions = [start] * walkers
+    elapsed_end = [0.0] * walkers
+    steps_taken = [0] * walkers
+    active = [csr.dg[start] > 0] * walkers
+    hit_time = math.inf
+    # Candidate match events: (arrival, start_time, walker, node).
+    candidates: List[Tuple[float, float, int, int]] = []
+
+    t0 = 0
+    chunk = CHUNK_STEPS
+    while t0 < ttl and any(active):
+        t1 = min(ttl, t0 + chunk)
+        for w in range(walkers):
+            if not active[w]:
+                continue
+            row = draws[w, t0:t1].tolist()
+            start_node = positions[w]
+            node = start_node
+            try:
+                # Same listcomp recurrence as rw_delivery (strand -> rare
+                # IndexError -> recompute with the careful loop).
+                seg: List[int] = [
+                    node := nbr[node][int(u * dgf[node])] for u in row
+                ]
+            except IndexError:
+                seg = []
+                _, node = chain_nodes(csr, start_node, row, seg)
+            taken = len(seg)
+            if taken:
+                seg_nodes = np.fromiter(seg, np.int64, taken)
+                # Recover the chunk's edge ids vectorised (as rw_delivery).
+                prev = np.empty(taken, dtype=np.int64)
+                prev[0] = start_node
+                prev[1:] = seg_nodes[:-1]
+                u_arr = draws[w, t0 : t0 + taken]
+                jarr = csr.indptr[prev] + (u_arr * csr.deg[prev]).astype(np.int64)
+                seg_lat = lats[jarr]
+                # Chained cumsum: folding the offset into the first element
+                # reproduces the reference's sequential additions exactly
+                # (cumsum accumulates left-to-right).
+                prev_end = elapsed_end[w]
+                seg_lat[0] += prev_end
+                arr = np.cumsum(seg_lat)
+                hits = np.nonzero(match[seg_nodes])[0]
+                for k in hits.tolist():
+                    a = float(arr[k])
+                    s = float(arr[k - 1]) if k > 0 else prev_end
+                    candidates.append((a, s, w, int(seg_nodes[k])))
+                    if a < hit_time:
+                        hit_time = a
+                arrival_segs[w].append(arr)
+                positions[w] = node
+                elapsed_end[w] = float(arr[-1])
+                steps_taken[w] += taken
+            if taken < len(row) or steps_taken[w] >= ttl:
+                active[w] = False  # stranded or TTL exhausted
+        if hit_time < math.inf:
+            for w in range(walkers):
+                if active[w] and elapsed_end[w] >= hit_time:
+                    active[w] = False  # every future step starts too late
+        t0 = t1
+        chunk *= 2
+
+    charged_arrivals: List[np.ndarray] = []
+    n_messages = 0
+    for w in range(walkers):
+        if not arrival_segs[w]:
+            continue
+        arr = (
+            arrival_segs[w][0]
+            if len(arrival_segs[w]) == 1
+            else np.concatenate(arrival_segs[w])
+        )
+        if hit_time < math.inf:
+            # Steps whose start (previous arrival, 0 for the first) is
+            # strictly before the hit; arrivals are strictly increasing.
+            charged = min(len(arr), int(np.searchsorted(arr, hit_time, "left")) + 1)
+        else:
+            charged = len(arr)
+        if charged:
+            charged_arrivals.append(arr[:charged])
+            n_messages += charged
+
+    if charged_arrivals:
+        all_arr = (
+            charged_arrivals[0]
+            if len(charged_arrivals) == 1
+            else np.concatenate(charged_arrivals)
+        )
+        buckets = bucket_bytes(now, all_arr, query_bytes)
+    else:
+        buckets = {}
+
+    if math.isinf(hit_time) or not candidates:
+        return RwSearchResult(n_messages, buckets, None, None)
+    best = min(
+        ((s, w, node) for a, s, w, node in candidates if a == hit_time),
+    )
+    return RwSearchResult(n_messages, buckets, hit_time, best[2])

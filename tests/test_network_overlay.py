@@ -130,3 +130,32 @@ class TestWithRandomTopology:
         assert ov.direct_latency_ms(0, 5) == 9.0
         out = ov.direct_latencies_ms(0, np.array([0, 3, 7]))
         assert list(out) == [0.0, 9.0, 9.0]
+
+    def test_direct_latency_ignores_explicit_edge_latencies(self):
+        # Explicit edge_latencies_ms describe *overlay edges* only; direct
+        # (off-overlay) hops must use the flat default, not whatever
+        # latency happens to sit first in the edge array.
+        topo = random_topology(20, avg_degree=3.0, rng=np.random.default_rng(4))
+        lats = np.linspace(50.0, 90.0, len(topo.edges))
+        ov = Overlay(topo, default_edge_latency_ms=9.0, edge_latencies_ms=lats)
+        assert ov.direct_latency_ms(0, 0) == 0.0
+        assert ov.direct_latency_ms(0, 5) == 9.0
+        out = ov.direct_latencies_ms(0, np.array([0, 3, 7]))
+        assert list(out) == [0.0, 9.0, 9.0]
+
+    def test_walk_csr_cached_per_epoch(self):
+        topo = random_topology(30, avg_degree=4.0, rng=np.random.default_rng(5))
+        ov = Overlay(topo, default_edge_latency_ms=3.0)
+        csr1 = ov.walk_csr()
+        assert ov.walk_csr() is csr1  # same epoch -> same object
+        ov.leave(7)
+        csr2 = ov.walk_csr()
+        assert csr2 is not csr1  # churn invalidates the cache
+        # Mirrors agree with the live CSR arrays after the churn event.
+        indptr, indices, lats = ov.live_csr()
+        assert csr2.ip == indptr.tolist()
+        assert csr2.ix == indices.tolist()
+        assert csr2.lat_l == lats.tolist()
+        assert csr2.dg == np.diff(indptr).tolist()
+        assert csr2.n == ov.n
+        assert csr2.lats_positive

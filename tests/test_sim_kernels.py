@@ -1,0 +1,195 @@
+"""Unit tests for the walk-kernel primitives (repro.sim.kernels).
+
+The end-to-end guarantees live in tests/test_walk_kernels_differential.py;
+these tests pin the individual building blocks: the stepping recurrence,
+chained cumsum exactness, byte bucketing, and the search result shape.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network.overlay import Overlay
+from repro.network.topology import OverlayTopology, random_topology
+from repro.sim import kernels
+from repro.sim.kernels import WalkCsr
+
+
+def path_csr(n=5, lat=10.0):
+    edges = np.array([[i, i + 1] for i in range(n - 1)], dtype=np.int64)
+    topo = OverlayTopology(name="path", n=n, edges=edges, physical_ids=np.arange(n))
+    return Overlay(topo, default_edge_latency_ms=lat).walk_csr()
+
+
+def random_csr(seed=0, n=200, deg=4.0, lat=15.0):
+    topo = random_topology(n=n, avg_degree=deg, rng=np.random.default_rng(seed))
+    return Overlay(topo, default_edge_latency_ms=lat).walk_csr()
+
+
+class TestWalkCsr:
+    def test_mirrors_match_arrays(self):
+        csr = random_csr()
+        assert csr.ip == csr.indptr.tolist()
+        assert csr.ix == csr.indices.tolist()
+        assert csr.lat_l == csr.lats.tolist()
+        assert csr.dg == np.diff(csr.indptr).tolist()
+        assert csr.n == len(csr.indptr) - 1
+
+    def test_lats_positive_flag(self):
+        assert random_csr(lat=15.0).lats_positive
+        assert not path_csr(lat=0.0).lats_positive
+        # Empty edge set counts as positive (nothing violates the premise).
+        topo = OverlayTopology(
+            name="isolated",
+            n=3,
+            edges=np.empty((0, 2), dtype=np.int64),
+            physical_ids=np.arange(3),
+        )
+        assert Overlay(topo).walk_csr().lats_positive
+
+
+class TestChainSteps:
+    def test_reference_trajectory(self):
+        """chain_steps must consume draws exactly like the per-step loop."""
+        csr = random_csr(seed=3)
+        rng = np.random.default_rng(7)
+        row = rng.random(500)
+        out = []
+        taken, final = kernels.chain_steps(csr, 0, row.tolist(), out)
+
+        node = 0
+        expect = []
+        for u in row:
+            lo = csr.indptr[node]
+            deg = csr.indptr[node + 1] - lo
+            if deg == 0:
+                break
+            j = lo + int(u * deg)
+            expect.append(int(j))
+            node = int(csr.indices[j])
+        assert out == expect
+        assert taken == len(expect)
+        assert final == node
+
+    def test_strands_on_isolated_node(self):
+        # Path 0-1 with node 1's only neighbour taken offline strands the
+        # walker immediately: degree 0 means zero steps.
+        edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        topo = OverlayTopology(
+            name="p3", n=3, edges=edges, physical_ids=np.arange(3)
+        )
+        ov = Overlay(topo, default_edge_latency_ms=5.0)
+        ov.leave(1)
+        csr = ov.walk_csr()
+        out = []
+        taken, final = kernels.chain_steps(csr, 0, [0.5, 0.5], out)
+        assert taken == 0
+        assert final == 0
+        assert out == []
+
+    def test_appends_after_existing_content(self):
+        csr = path_csr()
+        out = [99]
+        taken, _ = kernels.chain_steps(csr, 2, [0.0, 0.0], out)
+        assert taken == 2
+        assert out[0] == 99 and len(out) == 3
+
+
+class TestSegmentedCumsum:
+    def test_restarts_per_segment(self):
+        vals = np.array([1.0, 2.0, 3.0, 10.0, 20.0], dtype=np.float64)
+        out = kernels.segmented_cumsum(vals, [3, 2])
+        assert list(out) == [1.0, 3.0, 6.0, 10.0, 30.0]
+
+    def test_bitwise_matches_sequential_addition(self):
+        rng = np.random.default_rng(11)
+        vals = rng.random(1000) * 37.3
+        out = kernels.segmented_cumsum(vals, [1000])
+        acc = 0.0
+        for i, v in enumerate(vals.tolist()):
+            acc += v
+            assert out[i] == acc  # exact, not approx: same IEEE op order
+
+
+class TestBucketBytes:
+    def test_empty(self):
+        assert kernels.bucket_bytes(5.0, np.empty(0), 100) == {}
+
+    def test_integral_size_exact(self):
+        elapsed = np.array([100.0, 900.0, 1100.0, 2500.0])  # ms
+        buckets = kernels.bucket_bytes(10.0, elapsed, 100)
+        assert buckets == {10: 200.0, 11: 100.0, 12: 100.0}
+
+    def test_matches_loop_accumulation(self):
+        rng = np.random.default_rng(13)
+        elapsed = np.cumsum(rng.random(5000) * 30.0)
+        size = 424  # ad-sized integral payload
+        buckets = kernels.bucket_bytes(123.0, elapsed, size)
+        expect = {}
+        for e in elapsed.tolist():
+            s = int(123.0 + e / 1000.0)
+            expect[s] = expect.get(s, 0.0) + size
+        assert buckets == expect
+
+    def test_fractional_size(self):
+        elapsed = np.array([100.0, 200.0, 1500.0])
+        buckets = kernels.bucket_bytes(0.0, elapsed, 0.5)
+        assert buckets == {0: 1.0, 1: 0.5}
+
+
+class TestDistinctNodes:
+    def test_sorted_unique(self):
+        csr = path_csr()
+        out = kernels.distinct_nodes(csr, np.array([3, 1, 3, 0, 1]))
+        assert list(out) == [0, 1, 3]
+
+    def test_empty(self):
+        csr = path_csr()
+        assert len(kernels.distinct_nodes(csr, np.empty(0, dtype=np.int64))) == 0
+
+
+class TestRwDelivery:
+    def test_stranded_source_no_messages(self):
+        topo = OverlayTopology(
+            name="isolated",
+            n=2,
+            edges=np.empty((0, 2), dtype=np.int64),
+            physical_ids=np.arange(2),
+        )
+        csr = Overlay(topo).walk_csr()
+        visited, n, buckets = kernels.rw_delivery(
+            csr, 0, np.random.default_rng(0).random((5, 10)), 0.0, 100
+        )
+        assert n == 0 and buckets == {} and len(visited) == 0
+
+    def test_counts_and_budget(self):
+        csr = random_csr(seed=5)
+        draws = np.random.default_rng(1).random((5, 40))
+        visited, n, buckets = kernels.rw_delivery(csr, 0, draws, 0.0, 100)
+        assert n == 5 * 40  # nobody strands in a connected-ish random graph
+        assert sum(buckets.values()) == n * 100
+        assert len(visited) >= 1
+
+
+class TestRwSearch:
+    def test_miss_charges_full_ttl(self):
+        csr = random_csr(seed=6, n=50)
+        draws = np.random.default_rng(2).random((3, 64))
+        match = np.zeros(50, dtype=bool)  # nothing matches
+        res = kernels.rw_search(csr, 0, draws, match, 0.0, 100)
+        assert res.hit_node is None and res.hit_time_ms is None
+        assert res.n_messages == 3 * 64
+        assert sum(res.buckets.values()) == res.n_messages * 100
+
+    def test_hit_truncates_charging(self):
+        csr = random_csr(seed=6, n=50)
+        draws = np.random.default_rng(2).random((3, 512))
+        match = np.ones(50, dtype=bool)
+        match[0] = False
+        res = kernels.rw_search(csr, 0, draws, match, 0.0, 100)
+        # Every first step hits, so the hit is one hop out and each walker
+        # is charged exactly its first step (it started at time 0 < hit).
+        assert res.hit_node is not None
+        assert res.hit_time_ms == 15.0
+        assert res.n_messages == 3

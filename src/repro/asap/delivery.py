@@ -91,8 +91,21 @@ class AdForwarder(abc.ABC):
         """Total message budget for one delivery of ``ad``."""
         return max(1, len(ad.topics))  # overridden by budgeted forwarders
 
-    def _trace_delivery(self, ad: Ad, now: float, report: "DeliveryReport") -> None:
-        """Emit one ad-lifecycle trace event per delivery (when tracing)."""
+    def _trace_delivery(
+        self,
+        ad: Ad,
+        now: float,
+        report: "DeliveryReport",
+        budget: Optional[int] = None,
+    ) -> None:
+        """Emit one ad-lifecycle trace event per delivery (when tracing).
+
+        ``budget`` is the delivery's *effective* message cap -- for walk
+        forwarders that is ``walkers * max(1, total_budget // walkers)``,
+        which can exceed the nominal budget when it is smaller than the
+        walker count.  The auditor's walk-budget invariant checks
+        ``messages <= budget`` on every event that carries one.
+        """
         self.tracer.event(
             "ad",
             f"deliver.{getattr(self, 'kind', 'base')}",
@@ -103,6 +116,7 @@ class AdForwarder(abc.ABC):
             visited=len(report.visited),
             messages=report.messages,
             bytes=report.bytes,
+            budget=budget,
         )
 
     def _record(self, ad: Ad, buckets: Dict[int, float], n_messages: int) -> None:
@@ -205,7 +219,7 @@ class RandomWalkAdForwarder(_WalkForwarderBase):
             bytes=float(n_messages * ad_size),
         )
         if self.tracer.enabled:
-            self._trace_delivery(ad, now, report)
+            self._trace_delivery(ad, now, report, budget=self.walkers * per_walker)
         return report
 
     def deliver_reference(
@@ -246,7 +260,7 @@ class RandomWalkAdForwarder(_WalkForwarderBase):
             bytes=float(n_messages * ad_size),
         )
         if self.tracer.enabled:
-            self._trace_delivery(ad, now, report)
+            self._trace_delivery(ad, now, report, budget=self.walkers * per_walker)
         return report
 
 
@@ -335,7 +349,7 @@ class GsaAdForwarder(_WalkForwarderBase):
             bytes=float(n_messages * ad_size),
         )
         if self.tracer.enabled:
-            self._trace_delivery(ad, now, report)
+            self._trace_delivery(ad, now, report, budget=self.walkers * per_walker)
         return report
 
     def deliver_reference(
@@ -398,7 +412,7 @@ class GsaAdForwarder(_WalkForwarderBase):
             bytes=float(n_messages * ad_size),
         )
         if self.tracer.enabled:
-            self._trace_delivery(ad, now, report)
+            self._trace_delivery(ad, now, report, budget=self.walkers * per_walker)
         return report
 
 

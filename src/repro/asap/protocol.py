@@ -188,10 +188,7 @@ class AsapSearch(SearchAlgorithm):
         entry = repo.entry(source)
         if entry is None:
             return
-        if self.tracer.enabled:
-            self.tracer.event(
-                "ad", "repair", now, node=int(node), source=int(source)
-            )
+        request_bytes = float(self.sizes.ads_request)
         self.ledger.record(
             now, TrafficCategory.ADS_REQUEST, self.sizes.ads_request, messages=1
         )
@@ -201,6 +198,13 @@ class AsapSearch(SearchAlgorithm):
             # Source shares nothing any more: the stale entry is worthless.
             repo.remove(source)
             self.cachers[source].discard(node)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "ad", "repair", now,
+                    node=int(node), source=int(source),
+                    request_bytes=request_bytes,
+                    reply_bytes=0.0, reply_category=None,
+                )
             return
         missed_bits = sum(
             len(changed)
@@ -216,6 +220,16 @@ class AsapSearch(SearchAlgorithm):
         self.ledger.record(
             now + 2.0 * lat / 1000.0, category, reply_bytes, messages=1
         )
+        if self.tracer.enabled:
+            # The byte split lets the auditor attribute request and reply
+            # to their ledger categories without re-deriving the sizes.
+            self.tracer.event(
+                "ad", "repair", now,
+                node=int(node), source=int(source),
+                request_bytes=request_bytes,
+                reply_bytes=float(reply_bytes),
+                reply_category=category.value,
+            )
         stored, evicted = repo.accept_snapshot(
             source, self.store.version(source), self.store.topics(source), now
         )
@@ -389,6 +403,7 @@ class AsapSearch(SearchAlgorithm):
         new_sources: Dict[int, float] = {}
         n_messages = 0
         total_bytes = 0.0
+        request_total = 0.0
         request_size = self.sizes.ads_request + int(
             math.ceil(len(repo) * self.params.digest_bytes_per_entry)
         )
@@ -398,6 +413,7 @@ class AsapSearch(SearchAlgorithm):
         for nbr, one_way in neighbors:
             n_messages += 1
             total_bytes += request_size
+            request_total += request_size
             self.ledger.record(
                 now, TrafficCategory.ADS_REQUEST, request_size, messages=1
             )
@@ -448,6 +464,8 @@ class AsapSearch(SearchAlgorithm):
                 new_sources=len(new_sources),
                 messages=n_messages,
                 cost_bytes=total_bytes,
+                request_bytes=request_total,
+                reply_bytes=total_bytes - request_total,
             )
         return new_sources, n_messages, total_bytes
 
@@ -469,9 +487,32 @@ class AsapSearch(SearchAlgorithm):
         total_bytes = 0.0
         confirmed: List[Tuple[int, float]] = []  # (source, response_ms)
         tried: Set[int] = set()
+        # Confirmation accounting for the trace (attempted / confirmed /
+        # failure classes); only maintained when tracing is on.
+        stats = {
+            "attempted": 0,
+            "confirmed": 0,
+            "failed_dead": 0,
+            "failed_bloom_fp": 0,
+            "failed_split": 0,
+        }
+
+        def classify_failure(s: int) -> str:
+            """A live source's filter matched but its content did not:
+            either a term is genuinely absent from every document the
+            source shares (a Bloom false positive on that term) or every
+            term exists but spread across documents (a cross-doc split)."""
+            shared = self.content.docs_on(s)
+            for term in terms:
+                if not any(
+                    term in self.content.document(d).keywords for d in shared
+                ):
+                    return "failed_bloom_fp"
+            return "failed_split"
 
         def confirm_round(cands: Dict[int, float]) -> None:
             nonlocal n_messages, total_bytes
+            traced = self.tracer.enabled
             order = sorted(
                 (s for s in cands if s not in tried),
                 key=lambda s: self.overlay.direct_latency_ms(requester, s),
@@ -487,10 +528,14 @@ class AsapSearch(SearchAlgorithm):
                     self.sizes.confirmation_request,
                     messages=1,
                 )
+                if traced:
+                    stats["attempted"] += 1
                 if not self.overlay.is_live(s):
                     # Departed source: retire the stale ad.
                     repo.remove(s)
                     self.cachers[s].discard(requester)
+                    if traced:
+                        stats["failed_dead"] += 1
                     continue
                 n_messages += 1
                 total_bytes += self.sizes.confirmation_reply
@@ -502,10 +547,14 @@ class AsapSearch(SearchAlgorithm):
                 )
                 if self.content.node_matches(s, terms):
                     confirmed.append((s, cands[s] + 2.0 * lat))
+                    if traced:
+                        stats["confirmed"] += 1
                 else:
                     # False positive or cross-document term split.
                     repo.remove(s)
                     self.cachers[s].discard(requester)
+                    if traced:
+                        stats[classify_failure(s)] += 1
 
         confirm_round(avail)
 
@@ -524,6 +573,11 @@ class AsapSearch(SearchAlgorithm):
                 }
                 confirm_round(round2)
 
+        if self.tracer.enabled:
+            # Nested inside the query span: ties the confirmation byte
+            # movement (ledger_delta) back to individual attempts and feeds
+            # the measured Bloom false-positive rate.
+            self.tracer.event("query", "confirm_stats", now, **stats)
         if not confirmed:
             return self._failure(n_messages, total_bytes)
         response_time = min(t for _, t in confirmed)

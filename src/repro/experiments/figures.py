@@ -63,6 +63,9 @@ class ExperimentScale:
     topologies: Tuple[str, ...] = TOPOLOGIES
     # Attach a RunProfile to every grid cell's RunResult (repro.obs).
     profile: bool = False
+    # Run the invariant auditor in every cell (repro.obs.audit): each
+    # RunResult then carries an AuditReport and a run fingerprint.
+    audit: bool = False
     # Worker processes for grid population (1 = serial, 0 = all cores).
     jobs: int = 1
 
@@ -113,6 +116,7 @@ class ExperimentGrid:
             cached = run_experiment(
                 self.scale.config(algorithm, topology),
                 profile=self.scale.profile,
+                audit=self.scale.audit,
             )
             self._results[key] = cached
         return cached
@@ -146,6 +150,7 @@ class ExperimentGrid:
             [self.scale.config(algo, topo) for algo, topo in missing],
             jobs=self.scale.jobs,
             profile=self.scale.profile,
+            audit=self.scale.audit,
             progress=progress,
         )
         failures = []

@@ -44,7 +44,13 @@ from repro.simulation.config import RunConfig
 from repro.simulation.results import RunResult
 from repro.simulation.runner import run_experiment
 
-__all__ = ["CellFailure", "CellOutcome", "resolve_jobs", "run_cells"]
+__all__ = [
+    "CellFailure",
+    "CellOutcome",
+    "cell_trace_name",
+    "resolve_jobs",
+    "run_cells",
+]
 
 
 @dataclass(frozen=True)
@@ -75,14 +81,52 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def cell_trace_name(config: RunConfig) -> str:
+    """Deterministic per-cell trace filename inside a ``trace_dir``."""
+    return f"{config.algorithm}-{config.topology}-seed{config.seed}.jsonl"
+
+
 def _run_cell(
-    config: RunConfig, profile: bool, collect_diagnostics: bool
+    config: RunConfig,
+    profile: bool,
+    collect_diagnostics: bool,
+    audit: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> CellOutcome:
-    """Worker body: run one cell, trading exceptions for a CellFailure."""
+    """Worker body: run one cell, trading exceptions for a CellFailure.
+
+    With ``trace_dir``, the cell's trace is streamed to its own JSONL
+    file (``cell_trace_name``), so parallel workers never share a stream;
+    with ``audit``, the returned result carries the cell's
+    :class:`~repro.obs.audit.AuditReport` and fingerprint (an audit
+    *violation* is a finding on a successful run, not a CellFailure).
+    """
     try:
-        return run_experiment(
-            config, profile=profile, collect_diagnostics=collect_diagnostics
-        )
+        if trace_dir is None and not audit:
+            return run_experiment(
+                config, profile=profile, collect_diagnostics=collect_diagnostics
+            )
+        from repro.obs.trace import Tracer
+
+        if trace_dir is None:
+            tracer = Tracer(keep=True)
+            return run_experiment(
+                config,
+                tracer=tracer,
+                profile=profile,
+                collect_diagnostics=collect_diagnostics,
+                audit=audit,
+            )
+        path = os.path.join(trace_dir, cell_trace_name(config))
+        with open(path, "w") as fh:
+            tracer = Tracer(stream=fh, keep=True)
+            return run_experiment(
+                config,
+                tracer=tracer,
+                profile=profile,
+                collect_diagnostics=collect_diagnostics,
+                audit=audit,
+            )
     except Exception as exc:
         return CellFailure(
             config=config, error=repr(exc), traceback=traceback.format_exc()
@@ -104,6 +148,8 @@ def run_cells(
     *,
     profile: bool = False,
     collect_diagnostics: bool = False,
+    audit: bool = False,
+    trace_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[CellOutcome]:
     """Run independent cells, serially or across a process pool.
@@ -112,15 +158,23 @@ def run_cells(
     :class:`~repro.simulation.results.RunResult` on success or a
     :class:`CellFailure` on error.  Output is bit-identical to running the
     same configs serially (all randomness flows from per-config seeds).
+
+    ``audit=True`` runs the invariant auditor in each cell (the report
+    travels back on the result, like profiles do); ``trace_dir`` streams
+    each cell's trace to its own deterministically named JSONL file in
+    that directory (created if missing).
     """
     configs = list(configs)
     n_jobs = min(resolve_jobs(jobs), len(configs))
     log = progress or (lambda _msg: None)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        trace_dir = str(trace_dir)
 
     if n_jobs <= 1:
         results: List[CellOutcome] = []
         for i, config in enumerate(configs):
-            outcome = _run_cell(config, profile, collect_diagnostics)
+            outcome = _run_cell(config, profile, collect_diagnostics, audit, trace_dir)
             _log_outcome(log, i, len(configs), outcome)
             results.append(outcome)
         return results
@@ -136,7 +190,9 @@ def run_cells(
     slots: List[Optional[CellOutcome]] = [None] * len(configs)
     with ProcessPoolExecutor(max_workers=n_jobs, mp_context=mp_context) as pool:
         future_index = {
-            pool.submit(_run_cell, config, profile, collect_diagnostics): i
+            pool.submit(
+                _run_cell, config, profile, collect_diagnostics, audit, trace_dir
+            ): i
             for i, config in enumerate(configs)
         }
         pending = set(future_index)

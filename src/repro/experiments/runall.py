@@ -54,10 +54,16 @@ def _report_cells(scale: ExperimentScale) -> List[tuple]:
     return list(dict.fromkeys(cells))
 
 
-def build_report(scale: ExperimentScale, progress=None) -> str:
-    """Run everything and return the markdown report."""
+def build_report(
+    scale: ExperimentScale, progress=None, grid: Optional[ExperimentGrid] = None
+) -> str:
+    """Run everything and return the markdown report.
+
+    Pass a ``grid`` to reuse (and afterwards inspect) the populated cells
+    -- ``main`` does this to gate its exit code on audit violations.
+    """
     log = progress or (lambda _msg: None)
-    grid = ExperimentGrid(scale)
+    grid = grid if grid is not None else ExperimentGrid(scale)
     if scale.jobs != 1:
         log(f"populating grid ({scale.jobs} jobs)")
         grid.prefetch(_report_cells(scale), progress=log)
@@ -128,6 +134,27 @@ def build_report(scale: ExperimentScale, progress=None) -> str:
     )
     sections += ["## Shape checks", ""] + checks + [""]
 
+    if scale.audit:
+        log("audit")
+        sections += ["## Audit", ""]
+        any_violation = False
+        for algo, topo in _report_cells(scale):
+            result = grid.result(algo, topo)
+            report = result.audit
+            if report is None:
+                continue
+            status = "PASS" if report.ok else "FAIL"
+            sections.append(
+                f"- `{result.algorithm}/{topo}` {status} "
+                f"fingerprint `{result.fingerprint}`"
+            )
+            for v in report.violations:
+                any_violation = True
+                sections.append(f"  - [{v.check}] {v.message}")
+        sections.append("")
+        if any_violation:
+            sections += ["**Audit violations detected.**", ""]
+
     if scale.profile:
         from repro.obs.profile import merge_profiles
 
@@ -180,6 +207,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="profile every run and append per-cell profiles to the report",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the invariant auditor on every cell and append an audit "
+        "section; exit non-zero if any cell has violations",
+    )
     args = parser.parse_args(argv)
 
     scale = ExperimentScale(
@@ -187,11 +220,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         n_queries=args.queries,
         seed=args.seed,
         profile=args.profile,
+        audit=args.audit,
         jobs=args.jobs,
     )
     start = time.time()
+    grid = ExperimentGrid(scale)
     report = build_report(
-        scale, progress=lambda msg: print(f"[runall] {msg}", file=sys.stderr)
+        scale,
+        progress=lambda msg: print(f"[runall] {msg}", file=sys.stderr),
+        grid=grid,
     )
     elapsed = time.time() - start
     report += f"\n_generated in {elapsed:.0f}s_\n"
@@ -200,6 +237,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"report written to {args.output}", file=sys.stderr)
     else:
         print(report)
+    if args.audit:
+        bad = [
+            f"{r.algorithm}/{r.topology}"
+            for r in grid._results.values()
+            if r.audit is not None and not r.audit.ok
+        ]
+        if bad:
+            print(
+                f"audit violations in {len(bad)} cell(s): {', '.join(bad)}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

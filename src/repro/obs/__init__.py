@@ -1,15 +1,26 @@
 """Observability for the simulation stack: tracing, profiling, metrics.
 
-Three layers, all opt-in and zero-cost when disabled:
+Four layers, all opt-in and zero-cost when disabled:
 
 * :mod:`repro.obs.trace`   -- structured event/span tracing to JSONL;
 * :mod:`repro.obs.profile` -- per-subsystem / per-phase run accounting,
   attached to :class:`repro.simulation.results.RunResult` as a
   :class:`RunProfile`;
 * :mod:`repro.obs.metrics` -- counters / gauges / histograms exported as
-  JSON and Prometheus text via ``python -m repro.obs.report``.
+  JSON and Prometheus text via ``python -m repro.obs.report``;
+* :mod:`repro.obs.analyze` + :mod:`repro.obs.audit` -- causal lifecycle
+  reconstruction from traces, runtime invariant checks and deterministic
+  run fingerprints (``run_experiment(config, audit=True)``,
+  ``python -m repro.obs.report audit`` / ``analyze``).
 """
 
+from repro.obs.analyze import TraceAnalysis, analyze_trace
+from repro.obs.audit import (
+    AuditReport,
+    AuditViolation,
+    audit_run,
+    run_fingerprint,
+)
 from repro.obs.metrics import (
     CounterMetric,
     DEFAULT_BUCKETS,
@@ -37,6 +48,8 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AuditReport",
+    "AuditViolation",
     "CounterMetric",
     "DEFAULT_BUCKETS",
     "GaugeMetric",
@@ -48,12 +61,16 @@ __all__ = [
     "Profiler",
     "RunProfile",
     "Span",
+    "TraceAnalysis",
     "TraceRecord",
     "Tracer",
+    "analyze_trace",
+    "audit_run",
     "diff_flat",
     "flatten",
     "merge_profiles",
     "read_trace",
     "read_trace_lines",
+    "run_fingerprint",
     "subsystem_of",
 ]

@@ -60,6 +60,12 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(value: str) -> str:
+    # HELP lines escape backslash and newline only (no quote escaping) --
+    # exposition format 0.0.4.
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_value(v: float) -> str:
     if math.isinf(v):
         return "+Inf" if v > 0 else "-Inf"
@@ -243,8 +249,9 @@ class MetricsRegistry:
         lines: List[str] = []
         for name in sorted(self._meta):
             mtype, help = self._meta[name]
-            if help:
-                lines.append(f"# HELP {name} {help}")
+            # Every family gets HELP + TYPE (scrapers and format linters
+            # expect the pair even when the docstring is empty).
+            lines.append(f"# HELP {name} {_escape_help(help)}".rstrip())
             lines.append(f"# TYPE {name} {mtype}")
             for key, metric in sorted(self._series[name].items()):
                 labels = _format_labels(key)

@@ -13,7 +13,21 @@ profile into a :class:`~repro.obs.metrics.MetricsRegistry`, written as
 
 ``python -m repro.obs.report diff a.json b.json`` compares two JSON
 reports series-by-series -- the quick answer to "what changed between
-these two runs?".
+these two runs?".  ``--tolerance T`` makes the exit code a drift gate:
+non-zero when any series differs by more than ``T`` (absolute) or exists
+on one side only.
+
+``python -m repro.obs.report audit`` runs one experiment with the
+invariant auditor (:mod:`repro.obs.audit`) attached, writes
+``audit.json`` + ``trace.jsonl`` + ``analyze.json``, and exits non-zero
+on any violation.  ``--baseline FILE`` additionally compares the run's
+deterministic fingerprint against a stored one (a previous ``audit.json``
+or a bare fingerprint file) and fails on drift -- the CI hook for
+"did the simulation's semantics change?".
+
+``python -m repro.obs.report analyze`` reconstructs causal lifecycles
+(:mod:`repro.obs.analyze`) from an existing ``trace.jsonl`` -- no
+simulation stack needed -- and emits the JSON summary.
 
 ``--replications N --jobs J`` additionally replays seeds ``seed .. seed+N-1``
 across ``J`` worker processes and folds the across-seed metric spread plus
@@ -26,6 +40,9 @@ Examples::
     python -m repro.obs.report run --algorithm asap_rw --peers 120 \
         --queries 60 --replications 4 --jobs 2 --out obs-rep
     python -m repro.obs.report diff obs-out/metrics.json other/metrics.json
+    python -m repro.obs.report audit --algorithm asap_rw --peers 120 \
+        --queries 60 --out obs-audit --baseline baselines/asap_rw.json
+    python -m repro.obs.report analyze --trace obs-audit/trace.jsonl
 """
 
 from __future__ import annotations
@@ -309,6 +326,96 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     a = json.loads(Path(args.a).read_text())
     b = json.loads(Path(args.b).read_text())
     print(render_diff(a, b, label_a=Path(args.a).stem, label_b=Path(args.b).stem))
+    if args.tolerance is None:
+        return 0  # informational diff, no gate
+    rows = diff_flat(flatten(a), flatten(b))
+    drifted = [
+        series
+        for series, va, vb in rows
+        if va is None or vb is None or abs(vb - va) > args.tolerance
+    ]
+    if drifted:
+        print(
+            f"{len(drifted)} series drifted beyond tolerance {args.tolerance:g}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _load_baseline_fingerprint(path: Path) -> str:
+    """A stored fingerprint: a previous ``audit.json`` or a bare hex string."""
+    text = path.read_text().strip()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        return text
+    if isinstance(data, dict) and "fingerprint" in data:
+        return str(data["fingerprint"])
+    return text
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import analyze_trace
+    from repro.simulation.config import scaled_config
+    from repro.simulation.runner import run_experiment
+
+    config = scaled_config(
+        args.algorithm,
+        args.topology,
+        n_peers=args.peers,
+        n_queries=args.queries,
+        seed=args.seed,
+        use_physical_network=not args.no_physical_network,
+    )
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / "trace.jsonl"
+    with io.open(trace_path, "w") as stream:
+        tracer = Tracer(stream=stream, keep=True)
+        result = run_experiment(config, tracer=tracer, audit=True)
+    report = result.audit
+
+    audit_path = out_dir / "audit.json"
+    audit_path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    analyze_path = out_dir / "analyze.json"
+    analyze_path.write_text(
+        json.dumps(analyze_trace(tracer.records).to_dict(), indent=2) + "\n"
+    )
+    for path in (trace_path, audit_path, analyze_path):
+        print(f"wrote {path}", file=sys.stderr)
+    print(report.format_table())
+
+    exit_code = 0
+    if not report.ok:
+        print(f"{len(report.violations)} audit violation(s)", file=sys.stderr)
+        exit_code = 1
+    if args.baseline is not None:
+        expected = _load_baseline_fingerprint(Path(args.baseline))
+        if report.fingerprint != expected:
+            print(
+                f"fingerprint drift: baseline {expected} != run "
+                f"{report.fingerprint}",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        else:
+            print("fingerprint matches baseline", file=sys.stderr)
+    return exit_code
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    # Pure trace processing: works without the simulation stack.
+    from repro.obs.analyze import analyze_trace
+    from repro.obs.trace import read_trace
+
+    analysis = analyze_trace(read_trace(args.trace))
+    text = json.dumps(analysis.to_dict(), indent=2) + "\n"
+    if args.out is not None:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
     return 0
 
 
@@ -351,7 +458,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     diff_p = sub.add_parser("diff", help="diff two metrics.json reports")
     diff_p.add_argument("a")
     diff_p.add_argument("b")
+    diff_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="gate mode: exit non-zero when any series differs by more "
+        "than this (absolute) or exists on one side only; omit for a "
+        "purely informational diff (always exit 0); 0 fails on any drift",
+    )
     diff_p.set_defaults(func=_cmd_diff)
+
+    audit_p = sub.add_parser(
+        "audit", help="run one experiment under the invariant auditor"
+    )
+    audit_p.add_argument("--algorithm", default="asap_rw")
+    audit_p.add_argument("--topology", default="crawled")
+    audit_p.add_argument("--peers", type=int, default=120)
+    audit_p.add_argument("--queries", type=int, default=60)
+    audit_p.add_argument("--seed", type=int, default=0)
+    audit_p.add_argument("--out", default="obs-audit")
+    audit_p.add_argument(
+        "--baseline",
+        default=None,
+        help="stored audit.json (or bare fingerprint file) to compare the "
+        "run fingerprint against; mismatch exits non-zero",
+    )
+    audit_p.add_argument(
+        "--no-physical-network",
+        action="store_true",
+        help="skip the transit-stub substrate (faster smoke runs)",
+    )
+    audit_p.set_defaults(func=_cmd_audit)
+
+    analyze_p = sub.add_parser(
+        "analyze", help="summarise causal lifecycles from a trace.jsonl"
+    )
+    analyze_p.add_argument("--trace", required=True, help="trace.jsonl path")
+    analyze_p.add_argument(
+        "--out", default=None, help="write the JSON summary here (default stdout)"
+    )
+    analyze_p.set_defaults(func=_cmd_analyze)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -21,13 +21,19 @@ per line.  The design goals, in order:
 
 Record schema (one JSON object per line)::
 
-    {"kind": "event"|"span", "cat": str, "name": str, "t": float,
-     "id": int, "parent": int|null, "depth": int,
+    {"schema": 1, "kind": "event"|"span", "cat": str, "name": str,
+     "t": float, "id": int, "parent": int|null, "depth": int,
      "dur_s": float|null,   # wall-clock duration, spans only
      "attrs": {...}}        # site-specific annotations
 
 ``t`` is simulation time in seconds; ``dur_s`` is host wall-clock time
 spent inside the span (profiling signal, not simulated latency).
+
+``schema`` versions the record format so downstream consumers
+(:mod:`repro.obs.analyze`, :mod:`repro.obs.audit`) can evolve it safely:
+readers ignore unknown keys, and records without a ``schema`` key parse
+as version 0 (the PR 1 format, which differs from v1 only by the absence
+of the field).
 """
 
 from __future__ import annotations
@@ -43,11 +49,15 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Span",
+    "TRACE_SCHEMA_VERSION",
     "TraceRecord",
     "Tracer",
     "read_trace",
     "read_trace_lines",
 ]
+
+#: Current trace record format version (see module docstring).
+TRACE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -63,10 +73,12 @@ class TraceRecord:
     depth: int  # nesting depth (0 = top level)
     dur_s: Optional[float] = None  # wall-clock duration (spans only)
     attrs: Dict[str, Any] = field(default_factory=dict)
+    schema: int = TRACE_SCHEMA_VERSION
 
     def to_json(self) -> str:
         return json.dumps(
             {
+                "schema": self.schema,
                 "kind": self.kind,
                 "cat": self.category,
                 "name": self.name,
@@ -82,6 +94,8 @@ class TraceRecord:
 
     @staticmethod
     def from_json(line: str) -> "TraceRecord":
+        # Unknown keys are ignored on purpose (forward compatibility);
+        # a missing "schema" key marks the pre-versioning v0 format.
         d = json.loads(line)
         return TraceRecord(
             kind=d["kind"],
@@ -93,6 +107,7 @@ class TraceRecord:
             depth=d["depth"],
             dur_s=d.get("dur_s"),
             attrs=d.get("attrs", {}),
+            schema=d.get("schema", 0),
         )
 
 
@@ -168,6 +183,12 @@ class Tracer:
         self._clock = clock
         self._next_id = 1
         self._stack: List[Span] = []  # open spans, innermost last
+        self._counts: Dict[str, int] = {}  # per-category, tracked even when keep=False
+
+    @property
+    def keep(self) -> bool:
+        """Whether records are retained in ``self.records``."""
+        return self._keep
 
     # -------------------------------------------------------------- recording
     def event(self, category: str, name: str, t: float, **attrs: Any) -> TraceRecord:
@@ -232,26 +253,34 @@ class Tracer:
         return i
 
     def _emit(self, record: TraceRecord) -> None:
+        self._counts[record.category] = self._counts.get(record.category, 0) + 1
         if self._keep:
             self.records.append(record)
         if self._stream is not None:
             self._stream.write(record.to_json() + "\n")
 
     # ----------------------------------------------------------------- output
+    def _require_keep(self, what: str) -> None:
+        if not self._keep:
+            raise ValueError(
+                f"{what} needs in-memory records, but this Tracer was built "
+                "with keep=False (stream-only); read the streamed JSONL "
+                "instead, or construct the Tracer with keep=True."
+            )
+
     def to_jsonl(self) -> str:
-        """The kept records as a JSONL string."""
+        """The kept records as a JSONL string (requires ``keep=True``)."""
+        self._require_keep("to_jsonl()")
         return "".join(r.to_json() + "\n" for r in self.records)
 
     def dump(self, path: Union[str, Path]) -> None:
-        """Write the kept records to ``path`` as JSONL."""
+        """Write the kept records to ``path`` as JSONL (requires ``keep=True``)."""
+        self._require_keep("dump()")
         Path(path).write_text(self.to_jsonl())
 
     def counts_by_category(self) -> Dict[str, int]:
-        """Record count per category (quick sanity summary)."""
-        out: Dict[str, int] = {}
-        for r in self.records:
-            out[r.category] = out.get(r.category, 0) + 1
-        return out
+        """Record count per category; tracked even when ``keep=False``."""
+        return dict(self._counts)
 
 
 class NullTracer(Tracer):

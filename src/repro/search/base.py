@@ -122,7 +122,19 @@ class SearchAlgorithm(abc.ABC):
         with tracer.span(
             "query", self.name, now, requester=int(requester), terms=len(terms)
         ) as span:
+            # Snapshot the ledger around the request so the span carries the
+            # exact per-category byte movement this search caused -- the
+            # auditor's conservation check sums these deltas (plus the
+            # top-level ad-lifecycle events) and compares against the
+            # ledger's own totals.
+            before = self.ledger.category_totals()
             outcome = self._search_impl(requester, terms, now)
+            after = self.ledger.category_totals()
+            delta = {
+                cat.value: moved
+                for cat, total in after.items()
+                if (moved := total - before.get(cat, 0.0)) != 0.0
+            }
             span.annotate(
                 success=outcome.success,
                 messages=outcome.messages,
@@ -132,6 +144,7 @@ class SearchAlgorithm(abc.ABC):
                 response_time_ms=(
                     outcome.response_time_ms if outcome.success else None
                 ),
+                ledger_delta=delta,
             )
         return outcome
 

@@ -71,6 +71,10 @@ class ReplicatedSummary:
     seeds: List[int]
     metrics: Dict[str, MetricSpread]
     summaries: List[RunSummary]
+    # Per-seed audit reports + fingerprints when run with audit=True
+    # (repro.obs.audit.AuditReport entries, in seed order).
+    audits: List[object] = field(default_factory=list)
+    fingerprints: List[str] = field(default_factory=list)
 
     def __getitem__(self, metric: str) -> MetricSpread:
         return self.metrics[metric]
@@ -87,7 +91,7 @@ class ReplicatedSummary:
 
 
 def run_replications(
-    config: RunConfig, n_seeds: int = 5, jobs: int = 1
+    config: RunConfig, n_seeds: int = 5, jobs: int = 1, audit: bool = False
 ) -> ReplicatedSummary:
     """Run ``config`` under ``n_seeds`` independent seeds and aggregate.
 
@@ -104,14 +108,19 @@ def run_replications(
         raise ValueError("need at least one replication")
     seeds = [config.seed + i for i in range(n_seeds)]
     configs = [replace(config, seed=seed) for seed in seeds]
-    outcomes = run_cells(configs, jobs=jobs)
+    outcomes = run_cells(configs, jobs=jobs, audit=audit)
     summaries: List[RunSummary] = []
+    audits: List[object] = []
+    fingerprints: List[str] = []
     for outcome in outcomes:
         if isinstance(outcome, CellFailure):
             raise RuntimeError(
                 f"replication {outcome.describe()}\n{outcome.traceback}"
             )
         summaries.append(outcome.summarize())
+        if audit:
+            audits.append(outcome.audit)
+            fingerprints.append(outcome.fingerprint)
     metrics = {
         name: MetricSpread.of([getattr(s, name) for s in summaries])
         for name in _NUMERIC_FIELDS
@@ -122,4 +131,6 @@ def run_replications(
         seeds=seeds,
         metrics=metrics,
         summaries=summaries,
+        audits=audits,
+        fingerprints=fingerprints,
     )

@@ -75,6 +75,10 @@ class RunResult:
     # Observability extras, populated when the runner is asked for them.
     profile: Optional[RunProfile] = None  # per-subsystem/phase accounting
     cache_diagnostics: Optional[CacheDiagnostics] = None  # ASAP runs only
+    # Invariant audit + deterministic run fingerprint (run_experiment
+    # with audit=True); the report is an repro.obs.audit.AuditReport.
+    audit: Optional[object] = None
+    fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------- metrics
     @property

@@ -120,6 +120,7 @@ def run_experiment(
     tracer: Optional[Tracer] = None,
     profile: bool = False,
     collect_diagnostics: bool = False,
+    audit: bool = False,
     progress=None,
 ) -> RunResult:
     """Execute one full trace replay and return its results.
@@ -133,11 +134,23 @@ def run_experiment(
       returned :class:`RunResult` (also implied by ``tracer``);
     * ``collect_diagnostics`` -- snapshot ASAP cache diagnostics into
       ``RunResult.cache_diagnostics`` after the replay (ASAP runs only);
+    * ``audit`` -- trace the run (an internal keep-in-memory tracer is
+      created unless one is passed) and run the invariant auditor
+      (:func:`repro.obs.audit.audit_run`) over it, attaching the
+      :class:`~repro.obs.audit.AuditReport` and the run fingerprint to
+      the result;
     * ``progress`` -- optional ``callable(str)``; receives the rendered
       run profile when profiling is on.
     """
     streams = RandomStreams(seed=config.seed)
+    if audit and tracer is None:
+        tracer = Tracer(keep=True)
     tracer = tracer if tracer is not None else NULL_TRACER
+    if audit and (not tracer.enabled or not tracer.keep):
+        raise ValueError(
+            "audit=True needs the trace records in memory; pass an enabled "
+            "Tracer built with keep=True (streaming can be enabled alongside)."
+        )
 
     # --- substrate -------------------------------------------------------
     # The physical network is fully determined by (params, seed) and its
@@ -254,7 +267,7 @@ def run_experiment(
 
         diagnostics = diagnose(algorithm)
 
-    return RunResult(
+    result = RunResult(
         algorithm=algorithm.name,
         topology=config.topology,
         n_peers=config.n_peers,
@@ -267,3 +280,10 @@ def run_experiment(
         profile=run_profile,
         cache_diagnostics=diagnostics,
     )
+    if audit:
+        from repro.obs.audit import audit_run
+
+        report = audit_run(tracer.records, result, config)
+        result.audit = report
+        result.fingerprint = report.fingerprint
+    return result

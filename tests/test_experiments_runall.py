@@ -39,6 +39,30 @@ class TestBuildReport:
         assert any("figure 7" in m for m in messages)
 
 
+class TestAuditSection:
+    def test_audit_section_lists_cells_and_fingerprints(self):
+        from repro.experiments.figures import ExperimentGrid
+
+        scale = ExperimentScale(
+            n_peers=60,
+            n_queries=30,
+            seed=1,
+            use_physical_network=False,
+            algorithms=("flooding", "random_walk", "asap_rw"),
+            topologies=("random",),
+            audit=True,
+        )
+        grid = ExperimentGrid(scale)
+        report = build_report(scale, grid=grid)
+        assert "## Audit" in report
+        assert "PASS" in report and "fingerprint" in report
+        assert "Audit violations detected" not in report
+        # Every populated cell carries its audit report + fingerprint.
+        for result in grid._results.values():
+            assert result.audit is not None and result.audit.ok
+            assert result.fingerprint == result.audit.fingerprint
+
+
 class TestMain:
     def test_writes_output_file(self, tmp_path, monkeypatch):
         # main() always builds a fresh grid; keep it minuscule by pointing

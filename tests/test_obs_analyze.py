@@ -1,0 +1,131 @@
+"""Causal trace analysis: lifecycle reconstruction and reducers."""
+
+import json
+
+import pytest
+
+from repro.obs.analyze import (
+    AD_TYPE_CATEGORY,
+    TraceAnalysis,
+    analyze_trace,
+    trace_category_bytes,
+)
+from repro.obs.trace import Tracer
+
+
+def _synthetic_trace() -> Tracer:
+    """A hand-built trace exercising every lifecycle kind."""
+    t = Tracer(clock=lambda: 0.0)
+    # Two warm-up full-ad deliveries from the same source, then a patch.
+    t.event("ad", "deliver.rw", 1.0, source=5, ad_type="full", topics=3,
+            visited=10, messages=12, bytes=1200.0, budget=20)
+    t.event("ad", "deliver.rw", 7.0, source=5, ad_type="patch", topics=1,
+            visited=4, messages=4, bytes=80.0, budget=20)
+    t.event("ad", "deliver.flood", 2.0, source=9, ad_type="full", topics=2,
+            visited=6, messages=8, bytes=800.0)
+    # A unicast repair and a bootstrap ads exchange, both top level.
+    t.event("ad", "repair", 3.0, node=4, source=5, request_bytes=16.0,
+            reply_bytes=500.0, reply_category="full_ad")
+    t.event("ad", "ads_request", 0.5, node=7, request_bytes=32.0,
+            reply_bytes=900.0)
+    # Query 1: a hit whose span carries a ledger delta and confirm stats.
+    with t.span("query", "ASAP(RW)", 10.0, requester=1) as s:
+        t.event("query", "confirm_stats", 10.0, attempted=2, confirmed=1,
+                failed_dead=1, failed_bloom_fp=0, failed_split=0)
+        # Nested ad traffic: must NOT be double counted.
+        t.event("ad", "ads_request", 10.0, node=1, request_bytes=16.0,
+                reply_bytes=450.0)
+        s.annotate(success=True, local_hit=False, messages=3,
+                   cost_bytes=96.0, results=1, response_time_ms=40.0,
+                   ledger_delta={"confirmation": 96.0, "ads_request": 16.0,
+                                 "ads_reply": 450.0})
+    # Query 2: a miss.
+    with t.span("query", "ASAP(RW)", 20.0, requester=2) as s:
+        s.annotate(success=False, local_hit=False, messages=6,
+                   cost_bytes=240.0, results=0, response_time_ms=None,
+                   ledger_delta={"confirmation": 240.0})
+    # Churn walk.
+    t.event("churn", "join", 12.0, node=30, live=61)
+    t.event("churn", "leave", 14.0, node=8, live=60)
+    t.event("churn", "content_add", 15.0, node=2, doc_id=77)
+    return t
+
+
+def test_query_lifecycles_reconstructed():
+    analysis = analyze_trace(_synthetic_trace().records)
+    assert len(analysis.queries) == 2
+    q1, q2 = analysis.queries
+    assert q1.resolution == "hit" and q2.resolution == "miss"
+    assert q1.requester == 1 and q1.messages == 3
+    assert q1.confirm_stats == {"attempted": 2, "confirmed": 1,
+                                "failed_dead": 1, "failed_bloom_fp": 0,
+                                "failed_split": 0}
+    assert q2.confirm_stats is None
+    assert analysis.resolution_counts() == {"hit": 1, "local": 0, "miss": 1}
+
+
+def test_ad_lifecycles_and_exchanges():
+    analysis = analyze_trace(_synthetic_trace().records)
+    assert len(analysis.deliveries) == 3
+    schemes = sorted(d.scheme for d in analysis.deliveries)
+    assert schemes == ["flood", "rw", "rw"]
+    assert all(d.top_level for d in analysis.deliveries)
+    # Three exchanges total; the nested one is flagged.
+    assert len(analysis.exchanges) == 3
+    nested = [e for e in analysis.exchanges if not e.top_level]
+    assert len(nested) == 1 and nested[0].kind == "ads_request"
+    repair = next(e for e in analysis.exchanges if e.kind == "repair")
+    assert repair.reply_category == "full_ad" and repair.reply_bytes == 500.0
+
+
+def test_category_bytes_attribution_no_double_count():
+    analysis = analyze_trace(_synthetic_trace().records)
+    totals = analysis.category_bytes()
+    # full ads: 1200 (rw) + 800 (flood) + 500 (repair reply).
+    assert totals["full_ad"] == pytest.approx(2500.0)
+    assert totals["patch_ad"] == pytest.approx(80.0)
+    # ads_request: repair req 16 + bootstrap req 32 + in-span delta 16;
+    # the nested ads_request event contributes nothing extra.
+    assert totals["ads_request"] == pytest.approx(64.0)
+    assert totals["ads_reply"] == pytest.approx(900.0 + 450.0)
+    assert totals["confirmation"] == pytest.approx(96.0 + 240.0)
+
+
+def test_staleness_windows_per_source():
+    analysis = analyze_trace(_synthetic_trace().records)
+    windows = analysis.ad_staleness_windows()
+    # Source 5 delivered at t=1 and t=7 -> one 6s gap; source 9 only once.
+    assert windows["n"] == 1
+    assert windows["mean"] == pytest.approx(6.0)
+
+
+def test_churn_and_confirm_reducers():
+    analysis = analyze_trace(_synthetic_trace().records)
+    assert analysis.churn_counts() == {"join": 1, "leave": 1, "content_add": 1}
+    assert analysis.confirm_totals()["attempted"] == 2
+    assert analysis.hop_distribution()["max"] == 6.0
+
+
+def test_to_dict_is_json_ready():
+    analysis = analyze_trace(_synthetic_trace().records)
+    data = json.loads(json.dumps(analysis.to_dict()))
+    assert data["queries"] == 2
+    assert data["deliveries"]["by_type"]["full"] == 2
+    assert data["exchanges"]["repairs"] == 1
+    assert data["schema_versions"] == {"1": len(_synthetic_trace().records)}
+
+
+def test_empty_trace_analyzes_cleanly():
+    analysis = analyze_trace([])
+    assert isinstance(analysis, TraceAnalysis)
+    assert analysis.to_dict()["queries"] == 0
+    assert analysis.category_bytes() == {}
+
+
+def test_ad_type_category_covers_all_ad_types():
+    assert set(AD_TYPE_CATEGORY) == {"full", "patch", "refresh"}
+
+
+def test_trace_category_bytes_direct():
+    totals = trace_category_bytes([], [], [])
+    assert totals == {}

@@ -108,6 +108,69 @@ def test_label_escaping_in_prometheus():
     assert 'label="say \\"hi\\"\\nbye"' in reg.to_prometheus()
 
 
+def test_help_text_is_escaped_in_prometheus():
+    reg = MetricsRegistry()
+    reg.gauge("g", "line one\nline two \\ backslash").set(1)
+    text = reg.to_prometheus()
+    assert "# HELP g line one\\nline two \\\\ backslash" in text
+    # The escaped HELP stays on one physical line.
+    help_lines = [ln for ln in text.splitlines() if ln.startswith("# HELP g")]
+    assert len(help_lines) == 1
+
+
+def _lint_prometheus(text: str) -> None:
+    """Minimal exposition-format lint: HELP+TYPE pair precedes every family,
+    every sample line parses, and no family appears twice."""
+    import re
+
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    seen_families = set()
+    declared = None  # family currently legal for sample lines
+    i = 0
+    while i < len(lines):
+        ln = lines[i]
+        assert ln.startswith("# HELP "), f"expected HELP, got {ln!r}"
+        family = ln.split()[2]
+        assert family not in seen_families, f"family {family} declared twice"
+        seen_families.add(family)
+        assert lines[i + 1].startswith(f"# TYPE {family} "), lines[i + 1]
+        mtype = lines[i + 1].split()[3]
+        assert mtype in ("counter", "gauge", "histogram")
+        i += 2
+        n_samples = 0
+        sample_re = re.compile(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$"
+        )
+        while i < len(lines) and not lines[i].startswith("#"):
+            m = sample_re.match(lines[i])
+            assert m, f"unparseable sample line {lines[i]!r}"
+            name = m.group(1)
+            if mtype == "histogram":
+                assert name in (
+                    family, family + "_bucket", family + "_sum", family + "_count"
+                ), name
+            else:
+                assert name == family
+            float(m.group(3).replace("+Inf", "inf").replace("-Inf", "-inf"))
+            n_samples += 1
+            i += 1
+        assert n_samples > 0, f"family {family} has no samples"
+
+
+def test_prometheus_format_lint_on_sample_registry():
+    reg = _sample_registry()
+    reg.gauge("repro_no_help")  # family with empty help still gets HELP+TYPE
+    text = reg.to_prometheus()
+    assert "# HELP repro_no_help\n# TYPE repro_no_help gauge" in text
+    _lint_prometheus(text)
+
+
+def test_prometheus_format_lint_on_real_report(tiny_result):
+    result, _ = tiny_result
+    _lint_prometheus(build_registry(result).to_prometheus())
+
+
 # ------------------------------------------------------------- flatten/diff
 def test_flatten_and_diff():
     flat_a = flatten(_sample_registry().to_dict())
@@ -156,10 +219,14 @@ def test_run_experiment_attaches_profile_and_diagnostics(tiny_result):
     assert result.profile.phases["warmup"].events > 0
     assert result.cache_diagnostics is not None
     assert result.cache_diagnostics.to_dict()["n_nodes"] == 40
-    # The tracer saw query spans and ad events.
-    cats = tracer.counts_by_category()
-    assert cats.get("query", 0) == 15
-    assert cats.get("ad", 0) > 0
+    # The tracer saw query spans (plus nested confirm_stats events) and
+    # ad events.
+    spans = [
+        r for r in tracer.records
+        if r.category == "query" and r.kind == "span"
+    ]
+    assert len(spans) == 15
+    assert tracer.counts_by_category().get("ad", 0) > 0
 
 
 def test_build_registry_covers_issue_required_series(tiny_result):

@@ -1,0 +1,105 @@
+"""CLI subcommands: audit (violations + baseline gate), analyze, diff gate."""
+
+import json
+
+import pytest
+
+from repro.obs.report import main
+
+COMMON = [
+    "--algorithm", "asap_rw", "--topology", "random",
+    "--peers", "40", "--queries", "12", "--no-physical-network",
+]
+
+
+@pytest.fixture(scope="module")
+def audit_out(tmp_path_factory):
+    out = tmp_path_factory.mktemp("audit") / "run"
+    code = main(["audit", *COMMON, "--seed", "0", "--out", str(out)])
+    assert code == 0
+    return out
+
+
+def test_audit_writes_artifacts(audit_out):
+    report = json.loads((audit_out / "audit.json").read_text())
+    assert report["ok"] is True
+    assert len(report["fingerprint"]) == 32
+    assert report["checks"]["ledger_conservation"] == "pass"
+    assert (audit_out / "trace.jsonl").stat().st_size > 0
+    analysis = json.loads((audit_out / "analyze.json").read_text())
+    assert analysis["queries"] == 12
+
+
+def test_audit_baseline_match_and_mismatch(audit_out, tmp_path):
+    out2 = tmp_path / "again"
+    assert main([
+        "audit", *COMMON, "--seed", "0", "--out", str(out2),
+        "--baseline", str(audit_out / "audit.json"),
+    ]) == 0
+    # A different seed fingerprints differently -> gate trips.
+    out3 = tmp_path / "drift"
+    assert main([
+        "audit", *COMMON, "--seed", "9", "--out", str(out3),
+        "--baseline", str(audit_out / "audit.json"),
+    ]) == 1
+
+
+def test_audit_baseline_accepts_bare_fingerprint(audit_out, tmp_path):
+    fp = json.loads((audit_out / "audit.json").read_text())["fingerprint"]
+    bare = tmp_path / "baseline.txt"
+    bare.write_text(fp + "\n")
+    out = tmp_path / "bare"
+    assert main([
+        "audit", *COMMON, "--seed", "0", "--out", str(out),
+        "--baseline", str(bare),
+    ]) == 0
+
+
+def test_analyze_reads_trace_without_sim_stack(audit_out, tmp_path, capsys):
+    out_file = tmp_path / "analysis.json"
+    assert main([
+        "analyze", "--trace", str(audit_out / "trace.jsonl"),
+        "--out", str(out_file),
+    ]) == 0
+    data = json.loads(out_file.read_text())
+    assert data["queries"] == 12
+    assert "category_bytes" in data
+    # stdout mode
+    capsys.readouterr()
+    assert main(["analyze", "--trace", str(audit_out / "trace.jsonl")]) == 0
+    assert json.loads(capsys.readouterr().out)["queries"] == 12
+
+
+def _write_metrics(path, value):
+    path.write_text(json.dumps({
+        "metrics": [
+            {"name": "m_total", "type": "counter", "help": "",
+             "labels": {}, "value": value},
+        ]
+    }))
+
+
+def test_diff_tolerance_gate(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    _write_metrics(a, 100.0)
+    _write_metrics(b, 100.5)
+    # No tolerance flag: informational, always 0.
+    assert main(["diff", str(a), str(b)]) == 0
+    # Within tolerance: 0; beyond it: 1.
+    assert main(["diff", str(a), str(b), "--tolerance", "1.0"]) == 0
+    assert main(["diff", str(a), str(b), "--tolerance", "0.1"]) == 1
+    # Zero tolerance on identical reports passes.
+    assert main(["diff", str(a), str(a), "--tolerance", "0"]) == 0
+    capsys.readouterr()
+
+
+def test_diff_tolerance_fails_on_one_sided_series(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    _write_metrics(a, 1.0)
+    b.write_text(json.dumps({"metrics": [
+        {"name": "m_total", "type": "counter", "help": "",
+         "labels": {}, "value": 1.0},
+        {"name": "extra", "type": "gauge", "help": "",
+         "labels": {}, "value": 0.0},
+    ]}))
+    assert main(["diff", str(a), str(b), "--tolerance", "1e9"]) == 1

@@ -9,6 +9,7 @@ from repro.obs.profile import Profiler, RunProfile, subsystem_of
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
+    TRACE_SCHEMA_VERSION,
     TraceRecord,
     Tracer,
     read_trace,
@@ -136,6 +137,57 @@ def test_record_from_json_tolerates_missing_optionals():
         '"parent":null,"depth":0}'
     )
     assert rec.dur_s is None and rec.attrs == {}
+
+
+# ------------------------------------------------------------ schema version
+def test_records_carry_current_schema_version():
+    tracer = Tracer()
+    rec = tracer.event("ad", "x", 0.0)
+    assert rec.schema == TRACE_SCHEMA_VERSION
+    parsed = read_trace_lines(tracer.to_jsonl().splitlines())
+    assert parsed[0].schema == TRACE_SCHEMA_VERSION
+    assert '"schema":1' in rec.to_json()
+
+
+def test_missing_schema_key_parses_as_v0():
+    rec = TraceRecord.from_json(
+        '{"kind":"event","cat":"ad","name":"n","t":0.0,"id":1,'
+        '"parent":null,"depth":0}'
+    )
+    assert rec.schema == 0
+
+
+def test_unknown_json_keys_are_ignored_forward_compat():
+    # A future writer may add keys; today's reader must not choke on them.
+    rec = TraceRecord.from_json(
+        '{"schema":7,"kind":"event","cat":"ad","name":"n","t":0.5,"id":2,'
+        '"parent":null,"depth":0,"attrs":{"a":1},"future_field":[1,2],'
+        '"another":{"x":true}}'
+    )
+    assert rec.schema == 7
+    assert rec.attrs == {"a": 1}
+    assert not hasattr(rec, "future_field")
+
+
+# --------------------------------------------------------- keep=False footgun
+def test_keep_false_raises_on_in_memory_outputs(tmp_path):
+    tracer = Tracer(stream=io.StringIO(), keep=False)
+    tracer.event("ad", "x", 0.0)
+    with pytest.raises(ValueError, match="keep=False"):
+        tracer.to_jsonl()
+    with pytest.raises(ValueError, match="keep=False"):
+        tracer.dump(tmp_path / "t.jsonl")
+
+
+def test_keep_false_still_tracks_counts():
+    tracer = Tracer(stream=io.StringIO(), keep=False)
+    tracer.event("ad", "x", 0.0)
+    tracer.event("ad", "y", 0.0)
+    with tracer.span("query", "q", 1.0):
+        pass
+    assert tracer.records == []
+    assert tracer.keep is False
+    assert tracer.counts_by_category() == {"ad": 2, "query": 1}
 
 
 # ----------------------------------------------- engine observer integration

@@ -46,7 +46,7 @@ def bench_ablation_bloom_length(benchmark):
             f"{r['m']:>8} {r['fill']:>7.3f} {r['predicted']:>10.5f} "
             f"{r['observed']:>10.5f}"
         )
-    write_result("ablation_bloom", "\n".join(lines))
+    write_result("ablation_bloom", "\n".join(lines), data={"rows": rows})
 
     # FPR decreases monotonically with filter length...
     observed = [r["observed"] for r in rows]

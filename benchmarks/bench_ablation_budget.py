@@ -42,7 +42,7 @@ def bench_ablation_budget_unit(benchmark):
             f"{r['budget_unit']:>8} {r['success']:>9.3f} {r['load']:>14.1f} "
             f"{r['cost']:>9.0f}"
         )
-    write_result("ablation_budget", "\n".join(lines))
+    write_result("ablation_budget", "\n".join(lines), data={"rows": rows})
 
     small, default, large = rows
     # Wider delivery -> better coverage -> higher success...

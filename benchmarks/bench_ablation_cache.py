@@ -35,7 +35,7 @@ def bench_ablation_cache_capacity(benchmark):
     lines.append(f"{'capacity':>9} {'success':>9} {'cost B':>9}")
     for r in rows:
         lines.append(f"{str(r['capacity']):>9} {r['success']:>9.3f} {r['cost']:>9.0f}")
-    write_result("ablation_cache", "\n".join(lines))
+    write_result("ablation_cache", "\n".join(lines), data={"rows": rows})
 
     tight, medium, unbounded = rows
     assert unbounded["success"] >= medium["success"] >= tight["success"] - 0.02

@@ -35,7 +35,7 @@ def bench_ablation_ads_request_hops(benchmark):
     lines.append(f"{'h':>4} {'success':>9} {'cost B':>9}")
     for r in rows:
         lines.append(f"{r['h']:>4} {r['success']:>9.3f} {r['cost']:>9.0f}")
-    write_result("ablation_hops", "\n".join(lines))
+    write_result("ablation_hops", "\n".join(lines), data={"rows": rows})
 
     h0, h1, h2 = rows
     assert h1["success"] > h0["success"]  # the fallback earns its keep

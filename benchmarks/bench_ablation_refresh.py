@@ -51,7 +51,7 @@ def bench_ablation_refresh_period(benchmark):
             f"{r['label']:>10} {r['success']:>9.3f} {r['load']:>14.1f} "
             f"{r['refresh_bytes']:>11.0f}"
         )
-    write_result("ablation_refresh", "\n".join(lines))
+    write_result("ablation_refresh", "\n".join(lines), data={"rows": rows})
 
     fast, default, disabled = rows
     # Faster cadence -> strictly more refresh traffic.  With the timer

@@ -85,7 +85,7 @@ def bench_ablation_superpeer_fraction(benchmark):
             f"{r['fraction']:>9.2f} {r['success']:>9.3f} {r['resp_ms']:>9.1f} "
             f"{r['cache_entries']:>14}"
         )
-    write_result("ablation_superpeer", "\n".join(lines))
+    write_result("ablation_superpeer", "\n".join(lines), data={"rows": rows})
 
     # A smaller tier means fewer cached entries system-wide...
     entries = [r["cache_entries"] for r in rows]

@@ -20,7 +20,11 @@ def bench_fig10_realtime_load(benchmark, grid):
     for name, series in fig.series.items():
         preview = " ".join(f"{x:.0f}" for x in series[:25])
         lines.append(f"  {name:<12} {preview} ...")
-    write_result("fig10_realtime_load", "\n".join(lines))
+    write_result(
+        "fig10_realtime_load",
+        "\n".join(lines),
+        data={"series": {name: s for name, s in fig.series.items()}},
+    )
 
     flood = fig.series["flooding"]
     asap = fig.series["ASAP(RW)"]

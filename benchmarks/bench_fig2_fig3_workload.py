@@ -16,7 +16,7 @@ def bench_fig2_semantic_classes(benchmark, scale):
     fig = benchmark.pedantic(
         lambda: fig2_semantic_classes(scale), rounds=1, iterations=1
     )
-    write_result("fig2_semantic_classes", fig.format_table())
+    write_result("fig2_semantic_classes", fig.format_table(), data={"counts": fig.counts})
     counts = fig.counts
     assert counts.sum() > 0
     assert counts.max() > 4 * max(counts.min(), 1)  # Figure 2's skew
@@ -27,6 +27,6 @@ def bench_fig3_node_interests(benchmark, scale):
     fig = benchmark.pedantic(
         lambda: fig3_node_interests(scale), rounds=1, iterations=1
     )
-    write_result("fig3_node_interests", fig.format_table())
+    write_result("fig3_node_interests", fig.format_table(), data={"counts": fig.counts})
     # Every peer holds at least one interest (free-riders get random ones).
     assert fig.counts.sum() >= scale.n_peers

@@ -16,7 +16,7 @@ from repro.experiments import fig4_success_rate
 
 def bench_fig4_success_rate(benchmark, grid):
     fig = benchmark.pedantic(lambda: fig4_success_rate(grid), rounds=1, iterations=1)
-    write_result("fig4_success_rate", fig.format_table())
+    write_result("fig4_success_rate", fig.format_table(), data={"values": fig.values})
     v = fig.values
     for topo in grid.scale.topologies:
         # Flooding and ASAP(FLD) are the high-success schemes.

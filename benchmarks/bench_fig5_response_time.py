@@ -11,7 +11,7 @@ from repro.experiments import fig5_response_time
 
 def bench_fig5_response_time(benchmark, grid):
     fig = benchmark.pedantic(lambda: fig5_response_time(grid), rounds=1, iterations=1)
-    write_result("fig5_response_time", fig.format_table())
+    write_result("fig5_response_time", fig.format_table(), data={"values": fig.values})
     v = fig.values
     for topo in grid.scale.topologies:
         flood = v["flooding"][topo]

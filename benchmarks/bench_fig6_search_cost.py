@@ -11,7 +11,7 @@ from repro.experiments import fig6_search_cost
 
 def bench_fig6_search_cost(benchmark, grid):
     fig = benchmark.pedantic(lambda: fig6_search_cost(grid), rounds=1, iterations=1)
-    write_result("fig6_search_cost", fig.format_table())
+    write_result("fig6_search_cost", fig.format_table(), data={"values": fig.values})
     v = fig.values
     for topo in grid.scale.topologies:
         flood = v["flooding"][topo]

@@ -13,7 +13,7 @@ from repro.experiments import fig7_load_breakdown
 
 def bench_fig7_load_breakdown(benchmark, grid):
     fig = benchmark.pedantic(lambda: fig7_load_breakdown(grid), rounds=1, iterations=1)
-    write_result("fig7_load_breakdown", fig.format_table())
+    write_result("fig7_load_breakdown", fig.format_table(), data={"fractions": fig.fractions})
     assert abs(sum(fig.fractions.values()) - 1.0) < 1e-6
     # Patch + refresh dominate full ads in the warmed-up system.
     assert fig.patch_refresh_fraction > fig.full_ad_fraction

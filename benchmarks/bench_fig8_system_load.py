@@ -13,7 +13,7 @@ def bench_fig8_avg_system_load(benchmark, grid):
     fig = benchmark.pedantic(
         lambda: fig8_avg_system_load(grid), rounds=1, iterations=1
     )
-    write_result("fig8_avg_system_load", fig.format_table())
+    write_result("fig8_avg_system_load", fig.format_table(), data={"values": fig.values})
     v = fig.values
     for topo in grid.scale.topologies:
         # Flooding is the loudest scheme overall.

@@ -13,7 +13,7 @@ def bench_fig9_load_variation(benchmark, grid):
     fig = benchmark.pedantic(
         lambda: fig9_load_variation(grid), rounds=1, iterations=1
     )
-    write_result("fig9_load_variation", fig.format_table())
+    write_result("fig9_load_variation", fig.format_table(), data={"values": fig.values})
     v = fig.values
     for topo in grid.scale.topologies:
         assert v["flooding"][topo] > v["ASAP(RW)"][topo]

@@ -14,6 +14,7 @@ vectorised kernels that make paper-scale replay tractable:
 import numpy as np
 import pytest
 
+from conftest import write_bench_stats
 from repro.bloom.filter import BloomFilter
 from repro.bloom.hashing import BloomHasher
 from repro.bloom.matrix import FilterMatrix
@@ -37,6 +38,7 @@ def bench_flood_reach_2k(benchmark, overlay_2k):
     first_hop, _, msgs = benchmark(flood_reach, overlay_2k, 0, 6)
     assert msgs > 0
     assert (first_hop >= 0).mean() > 0.9
+    write_bench_stats("micro_flood_reach_2k", benchmark, messages=int(msgs))
 
 
 def bench_filter_matrix_match_10k(benchmark):
@@ -51,6 +53,7 @@ def bench_filter_matrix_match_10k(benchmark):
     positions = hasher.positions_array(["kw3", "kw77"])
     result = benchmark(mat.match_all, positions)
     assert result.shape == (10_000,)
+    write_bench_stats("micro_filter_matrix_match_10k", benchmark, rows=10_000)
 
 
 def bench_bloom_contains_all_1k_queries(benchmark):
@@ -69,6 +72,7 @@ def bench_bloom_contains_all_1k_queries(benchmark):
 
     hits = benchmark(probe)
     assert 0 <= hits <= len(queries)
+    write_bench_stats("micro_bloom_contains_all_1k", benchmark, queries=len(queries))
 
 
 def bench_latency_pairwise_10k(benchmark):
@@ -81,6 +85,7 @@ def bench_latency_pairwise_10k(benchmark):
     vs = rng.choice(nodes, size=10_000)
     out = benchmark(model.pairwise_ms, us, vs)
     assert np.all(np.isfinite(out))
+    write_bench_stats("micro_latency_pairwise_10k", benchmark, pairs=len(us))
 
 
 def _dispatch_events(n_events: int, observer=None) -> int:
@@ -104,6 +109,7 @@ def bench_engine_dispatch_50k(benchmark):
     every experiment pays; the repro.obs hooks must keep it within 3%)."""
     count = benchmark(_dispatch_events, 50_000)
     assert count == 50_000
+    write_bench_stats("micro_engine_dispatch_50k", benchmark, events=count)
 
 
 def bench_engine_dispatch_50k_profiled(benchmark):
@@ -111,6 +117,7 @@ def bench_engine_dispatch_50k_profiled(benchmark):
     against ``bench_engine_dispatch_50k`` (the enabled-observability cost)."""
     count = benchmark(_dispatch_events, 50_000, observer=Profiler(warmup_s=25_000.0))
     assert count == 50_000
+    write_bench_stats("micro_engine_dispatch_50k_profiled", benchmark, events=count)
 
 
 def bench_content_synthesis_1k(benchmark):
@@ -123,3 +130,8 @@ def bench_content_synthesis_1k(benchmark):
         iterations=1,
     )
     assert dist.index.mean_replica_count() == pytest.approx(1.28, abs=0.05)
+    write_bench_stats(
+        "micro_content_synthesis_1k",
+        benchmark,
+        mean_replicas=float(dist.index.mean_replica_count()),
+    )

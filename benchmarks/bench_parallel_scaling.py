@@ -68,7 +68,16 @@ def bench_parallel_scaling(benchmark):
         "(parent-side cache counters; at jobs>1 the single parent build is "
         "inherited by forked workers)"
     )
-    write_result("parallel_scaling", "\n".join(lines))
+    write_result(
+        "parallel_scaling",
+        "\n".join(lines),
+        data={
+            "rows": [
+                {k: row[k] for k in ("jobs", "wall_s", "hits", "misses")}
+                for row in rows
+            ]
+        },
+    )
 
     # One substrate build serves the whole serial sweep ...
     assert serial["misses"] == 1

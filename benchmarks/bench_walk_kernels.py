@@ -210,4 +210,18 @@ def bench_walk_kernels(benchmark):
         "fixed costs); equivalence of kernel vs reference outputs is "
         "asserted on separate fixed seeds."
     )
-    write_result("walk_kernels", "\n".join(lines))
+    write_result(
+        "walk_kernels",
+        "\n".join(lines),
+        data={
+            "n_peers": N_PEERS,
+            "rounds": ROUNDS,
+            "sections": {
+                title: [
+                    {"path": name, "call_s": call, "per_step_s": step}
+                    for name, call, step in rows
+                ]
+                for title, rows in sections
+            },
+        },
+    )

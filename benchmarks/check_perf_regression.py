@@ -1,0 +1,119 @@
+"""Perf-regression gate for the telemetry overhead benchmark.
+
+Compares a fresh ``benchmarks/results/telemetry_overhead.json`` (written
+by ``bench_telemetry_overhead.py``) against the committed trajectory in
+``BENCH_TELEMETRY.json`` and fails (exit 1) when the overhead fraction
+regresses.  The gate is expressed entirely in *relative* terms (enabled
+vs disabled wall-clock on the same machine, same process), so it is
+meaningful across machines of different speeds -- absolute seconds are
+reported but never gated on.
+
+Two checks:
+
+1. **absolute bar** -- the fresh overhead fraction must stay under
+   ``--max-overhead`` (default 0.05, the acceptance budget);
+2. **trend bar** -- the fresh overhead fraction must not exceed the
+   committed baseline (last trajectory entry) by more than
+   ``--tolerance`` (default 0.02 absolute, i.e. two percentage points of
+   headroom for machine noise).
+
+Usage (as CI runs it)::
+
+    python benchmarks/check_perf_regression.py \
+        --result benchmarks/results/telemetry_overhead.json \
+        --baseline BENCH_TELEMETRY.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load_result(path: Path) -> dict:
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != 1:
+        raise SystemExit(f"{path}: unsupported schema {doc.get('schema')!r}")
+    return doc["data"]
+
+
+def _load_baseline(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    doc = json.loads(path.read_text())
+    entries = doc.get("entries", [])
+    return entries[-1] if entries else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--result",
+        type=Path,
+        default=Path("benchmarks/results/telemetry_overhead.json"),
+        help="fresh benchmark output to check",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("BENCH_TELEMETRY.json"),
+        help="committed trajectory file (last entry is the baseline)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="absolute bar on the overhead fraction (default 0.05)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="allowed absolute increase over the baseline overhead "
+        "fraction (default 0.02)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = _load_result(args.result)
+    overhead = fresh["overhead_frac"]
+    print(
+        f"fresh run: {fresh['n_peers']} peers, {fresh['n_queries']} queries, "
+        f"disabled {fresh['disabled_s']:.3f}s, enabled {fresh['enabled_s']:.3f}s, "
+        f"overhead {overhead:+.2%}"
+    )
+
+    failures = []
+    if overhead > args.max_overhead:
+        failures.append(
+            f"overhead {overhead:.2%} exceeds the absolute bar "
+            f"{args.max_overhead:.0%}"
+        )
+
+    baseline = _load_baseline(args.baseline)
+    if baseline is None:
+        print(f"no baseline in {args.baseline}; trend check skipped")
+    else:
+        base_overhead = baseline["overhead_frac"]
+        print(
+            f"baseline ({baseline.get('recorded_utc', 'undated')}): "
+            f"{baseline['n_peers']} peers, {baseline['n_queries']} queries, "
+            f"overhead {base_overhead:+.2%}"
+        )
+        if overhead > base_overhead + args.tolerance:
+            failures.append(
+                f"overhead {overhead:.2%} regressed past baseline "
+                f"{base_overhead:.2%} + tolerance {args.tolerance:.0%}"
+            )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("OK: telemetry overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,13 +10,20 @@ Scale control (environment variables):
 * ``REPRO_BENCH_QUERIES`` -- trace length (default 800; paper: 30000)
 * ``REPRO_BENCH_SEED``    -- root seed (default 0)
 
-Each figure bench also writes its paper-style table to
-``benchmarks/results/<figure>.txt`` so results survive the terminal.
+Each figure bench writes its paper-style table to
+``benchmarks/results/<figure>.txt`` plus a machine-readable twin
+``<figure>.json`` (schema-versioned, sorted keys) via
+:func:`write_json_result` -- the shared emitter every bench uses, so
+downstream tooling (perf-regression gates, trend charts) parses one
+format.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
+from enum import Enum
 from pathlib import Path
 
 import pytest
@@ -24,6 +31,10 @@ import pytest
 from repro.experiments import ExperimentGrid, ExperimentScale
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Version of the machine-readable result envelope written next to every
+#: ``.txt`` table.  Bump when the envelope's shape changes.
+BENCH_SCHEMA_VERSION = 1
 
 
 def bench_scale() -> ExperimentScale:
@@ -44,8 +55,68 @@ def grid(scale) -> ExperimentGrid:
     return ExperimentGrid.shared(scale)
 
 
-def write_result(name: str, text: str) -> None:
-    """Persist a figure's table under benchmarks/results/."""
+def _jsonable(obj):
+    """Coerce numpy scalars/arrays, enums, tuples and NaN into JSON types."""
+    if isinstance(obj, dict):
+        return {
+            (k.value if isinstance(k, Enum) else str(k)): _jsonable(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, Enum):
+        return obj.value
+    if hasattr(obj, "tolist"):  # numpy array or scalar
+        return _jsonable(obj.tolist())
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    if isinstance(obj, (int, float, str, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def write_json_result(name: str, data, extra: dict | None = None) -> Path:
+    """Write ``benchmarks/results/<name>.json``: the machine-readable twin.
+
+    The envelope is deterministic (schema-versioned, sorted keys) and
+    records the scale knobs the session ran at, so a stored result is
+    comparable against a later run of the same scale.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    s = bench_scale()
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "scale": {"n_peers": s.n_peers, "n_queries": s.n_queries, "seed": s.seed},
+        "data": _jsonable(data),
+    }
+    if extra:
+        payload.update(_jsonable(extra))
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_result(name: str, text: str, data=None) -> None:
+    """Persist a figure's table under benchmarks/results/ (+ JSON twin)."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    write_json_result(name, data if data is not None else {"text": text})
     print("\n" + text)
+
+
+def write_bench_stats(name: str, benchmark, **data) -> None:
+    """Machine-readable timing stats for a pytest-benchmark measurement.
+
+    Tolerates a disabled/absent benchmark fixture (``--benchmark-disable``
+    smoke runs): the data fields are written either way; timing fields
+    only when stats exist.
+    """
+    stats = getattr(benchmark, "stats", None)
+    row = dict(data)
+    if stats is not None:
+        s = stats.stats
+        row.update(
+            mean_s=s.mean, min_s=s.min, max_s=s.max, rounds=len(s.data)
+        )
+    write_json_result(name, row)

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.asap.ads import Ad
 from repro.network.overlay import Overlay
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.search.base import MessageSizes
 from repro.search.flooding import flood_reach
@@ -76,6 +77,7 @@ class AdForwarder(abc.ABC):
         self.sizes = sizes
         self.rng = rng
         self.tracer: Tracer = NULL_TRACER
+        self.telemetry: Telemetry = NULL_TELEMETRY
 
     @abc.abstractmethod
     def deliver(
@@ -128,6 +130,17 @@ class AdForwarder(abc.ABC):
         if buckets:
             first = min(buckets)
             self.ledger.record(first + 0.5, ad.category, 0.0, messages=n_messages)
+            # Single telemetry chokepoint for every forwarder: attribute
+            # the delivery's bytes to the advertising source (per-window
+            # byte series come from the ledger fold, not from here).
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.record_delivery(
+                    first + 0.5,
+                    int(ad.source),
+                    float(sum(buckets.values())),
+                    n_messages,
+                )
 
 
 class FloodAdForwarder(AdForwarder):

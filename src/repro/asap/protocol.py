@@ -149,6 +149,11 @@ class AsapSearch(SearchAlgorithm):
         super().set_tracer(tracer)
         self.forwarder.tracer = tracer
 
+    def set_telemetry(self, telemetry) -> None:
+        """Attach telemetry to the protocol and its ad forwarder."""
+        super().set_telemetry(telemetry)
+        self.forwarder.telemetry = telemetry
+
     # ------------------------------------------------------------- delivery
     def _disseminate(
         self, ad: Ad, now: float, budget: Optional[int] = None
@@ -220,6 +225,11 @@ class AsapSearch(SearchAlgorithm):
         self.ledger.record(
             now + 2.0 * lat / 1000.0, category, reply_bytes, messages=1
         )
+        if self.telemetry.enabled:
+            # The source serves the repair; the request came from ``node``.
+            self.telemetry.record_repair(
+                now, int(source), request_bytes + float(reply_bytes)
+            )
         if self.tracer.enabled:
             # The byte split lets the auditor attribute request and reply
             # to their ledger categories without re-deriving the sizes.
@@ -453,6 +463,11 @@ class AsapSearch(SearchAlgorithm):
                 reply_bytes,
                 messages=1,
             )
+            if self.telemetry.enabled:
+                # The serving neighbour pays for the reply it assembled.
+                self.telemetry.record_ads_request(
+                    now, int(nbr), request_size + reply_bytes
+                )
         if self.tracer.enabled:
             self.tracer.event(
                 "ad",
@@ -513,6 +528,7 @@ class AsapSearch(SearchAlgorithm):
         def confirm_round(cands: Dict[int, float]) -> None:
             nonlocal n_messages, total_bytes
             traced = self.tracer.enabled
+            telemetry = self.telemetry
             order = sorted(
                 (s for s in cands if s not in tried),
                 key=lambda s: self.overlay.direct_latency_ms(requester, s),
@@ -536,6 +552,11 @@ class AsapSearch(SearchAlgorithm):
                     self.cachers[s].discard(requester)
                     if traced:
                         stats["failed_dead"] += 1
+                    if telemetry.enabled:
+                        telemetry.record_confirmation(
+                            now, requester, int(s),
+                            self.sizes.confirmation_request,
+                        )
                     continue
                 n_messages += 1
                 total_bytes += self.sizes.confirmation_reply
@@ -545,6 +566,12 @@ class AsapSearch(SearchAlgorithm):
                     self.sizes.confirmation_reply,
                     messages=1,
                 )
+                if telemetry.enabled:
+                    telemetry.record_confirmation(
+                        now, requester, int(s),
+                        self.sizes.confirmation_request
+                        + self.sizes.confirmation_reply,
+                    )
                 if self.content.node_matches(s, terms):
                     confirmed.append((s, cands[s] + 2.0 * lat))
                     if traced:

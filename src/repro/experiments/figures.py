@@ -66,6 +66,10 @@ class ExperimentScale:
     # Run the invariant auditor in every cell (repro.obs.audit): each
     # RunResult then carries an AuditReport and a run fingerprint.
     audit: bool = False
+    # Collect streaming telemetry in every cell (repro.obs.telemetry):
+    # each RunResult then carries a mergeable TelemetrySummary -- the
+    # trace-free path to the Fig. 9 per-window load view and hotspots.
+    telemetry: bool = False
     # Worker processes for grid population (1 = serial, 0 = all cores).
     jobs: int = 1
 
@@ -117,6 +121,7 @@ class ExperimentGrid:
                 self.scale.config(algorithm, topology),
                 profile=self.scale.profile,
                 audit=self.scale.audit,
+                telemetry=self.scale.telemetry,
             )
             self._results[key] = cached
         return cached
@@ -125,6 +130,7 @@ class ExperimentGrid:
         self,
         cells: Optional[List[Tuple[str, str]]] = None,
         progress=None,
+        live=None,
     ) -> "ExperimentGrid":
         """Populate missing cells, in parallel when ``scale.jobs != 1``.
 
@@ -151,6 +157,8 @@ class ExperimentGrid:
             jobs=self.scale.jobs,
             profile=self.scale.profile,
             audit=self.scale.audit,
+            telemetry=self.scale.telemetry,
+            live=live,
             progress=progress,
         )
         failures = []

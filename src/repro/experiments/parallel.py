@@ -32,12 +32,14 @@ mergeable in the parent (:func:`repro.obs.profile.merge_profiles`).
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
+import tempfile
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.network.substrate import get_substrate
 from repro.simulation.config import RunConfig
@@ -86,12 +88,20 @@ def cell_trace_name(config: RunConfig) -> str:
     return f"{config.algorithm}-{config.topology}-seed{config.seed}.jsonl"
 
 
+def cell_label(config: RunConfig) -> str:
+    """Short human-readable cell identity for telemetry and live status."""
+    return f"{config.algorithm}/{config.topology}/seed{config.seed}"
+
+
 def _run_cell(
     config: RunConfig,
     profile: bool,
     collect_diagnostics: bool,
     audit: bool = False,
     trace_dir: Optional[str] = None,
+    telemetry: bool = False,
+    status_path: Optional[str] = None,
+    status_fn: Optional[Callable[[Dict], None]] = None,
 ) -> CellOutcome:
     """Worker body: run one cell, trading exceptions for a CellFailure.
 
@@ -100,11 +110,28 @@ def _run_cell(
     with ``audit``, the returned result carries the cell's
     :class:`~repro.obs.audit.AuditReport` and fingerprint (an audit
     *violation* is a finding on a successful run, not a CellFailure).
+    With ``telemetry``, the cell accumulates streaming telemetry and the
+    result carries its :class:`~repro.obs.telemetry.TelemetrySummary`;
+    ``status_path`` additionally streams live status snapshots to that
+    file (read by the parent's ``--live`` polling loop; the snapshots are
+    transient and never affect the returned summary).
     """
     try:
+        tel = False
+        if telemetry or status_path is not None or status_fn is not None:
+            from repro.obs.telemetry import Telemetry
+
+            tel = Telemetry(
+                status_path=status_path,
+                status_fn=status_fn,
+                label=cell_label(config),
+            )
         if trace_dir is None and not audit:
             return run_experiment(
-                config, profile=profile, collect_diagnostics=collect_diagnostics
+                config,
+                profile=profile,
+                collect_diagnostics=collect_diagnostics,
+                telemetry=tel,
             )
         from repro.obs.trace import Tracer
 
@@ -116,6 +143,7 @@ def _run_cell(
                 profile=profile,
                 collect_diagnostics=collect_diagnostics,
                 audit=audit,
+                telemetry=tel,
             )
         path = os.path.join(trace_dir, cell_trace_name(config))
         with open(path, "w") as fh:
@@ -126,6 +154,7 @@ def _run_cell(
                 profile=profile,
                 collect_diagnostics=collect_diagnostics,
                 audit=audit,
+                telemetry=tel,
             )
     except Exception as exc:
         return CellFailure(
@@ -150,6 +179,8 @@ def run_cells(
     collect_diagnostics: bool = False,
     audit: bool = False,
     trace_dir: Optional[str] = None,
+    telemetry: bool = False,
+    live: Optional[Callable[[str], None]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[CellOutcome]:
     """Run independent cells, serially or across a process pool.
@@ -163,6 +194,14 @@ def run_cells(
     travels back on the result, like profiles do); ``trace_dir`` streams
     each cell's trace to its own deterministically named JSONL file in
     that directory (created if missing).
+
+    ``telemetry=True`` collects streaming telemetry per cell; each result
+    carries a :class:`~repro.obs.telemetry.TelemetrySummary` whose merge
+    (in input order) is bit-identical whether the cells ran serially or
+    across workers.  ``live`` is an optional ``callable(str)`` receiving a
+    one-line status rendering (per-cell progress and current hotspots,
+    streamed out of worker processes through per-cell snapshot files);
+    it implies telemetry collection.
     """
     configs = list(configs)
     n_jobs = min(resolve_jobs(jobs), len(configs))
@@ -170,11 +209,22 @@ def run_cells(
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
         trace_dir = str(trace_dir)
+    telemetry = telemetry or live is not None
 
     if n_jobs <= 1:
         results: List[CellOutcome] = []
         for i, config in enumerate(configs):
-            outcome = _run_cell(config, profile, collect_diagnostics, audit, trace_dir)
+            status_fn = None
+            if live is not None:
+                status_fn = (
+                    lambda snap, _i=i, _n=len(configs): live(
+                        f"[{_i + 1}/{_n}] {_format_snapshot(snap)}"
+                    )
+                )
+            outcome = _run_cell(
+                config, profile, collect_diagnostics, audit, trace_dir,
+                telemetry, None, status_fn,
+            )
             _log_outcome(log, i, len(configs), outcome)
             results.append(outcome)
         return results
@@ -187,27 +237,91 @@ def run_cells(
     mp_context = None
     if "fork" in multiprocessing.get_all_start_methods():
         mp_context = multiprocessing.get_context("fork")
+    status_dir = tempfile.mkdtemp(prefix="repro-live-") if live is not None else None
     slots: List[Optional[CellOutcome]] = [None] * len(configs)
-    with ProcessPoolExecutor(max_workers=n_jobs, mp_context=mp_context) as pool:
-        future_index = {
-            pool.submit(
-                _run_cell, config, profile, collect_diagnostics, audit, trace_dir
-            ): i
-            for i, config in enumerate(configs)
-        }
-        pending = set(future_index)
-        done_count = 0
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                i = future_index[future]
-                # _run_cell converts cell exceptions to CellFailure; an
-                # exception here means the pool itself broke (e.g. a worker
-                # was killed), which is not attributable to one cell.
-                slots[i] = future.result()
-                done_count += 1
-                _log_outcome(log, done_count - 1, len(configs), slots[i])
+    try:
+        with ProcessPoolExecutor(max_workers=n_jobs, mp_context=mp_context) as pool:
+            future_index = {
+                pool.submit(
+                    _run_cell, config, profile, collect_diagnostics, audit,
+                    trace_dir, telemetry,
+                    os.path.join(status_dir, f"cell{i}.json")
+                    if status_dir is not None
+                    else None,
+                ): i
+                for i, config in enumerate(configs)
+            }
+            pending = set(future_index)
+            done_count = 0
+            while pending:
+                # With a live sink, poll on a short timeout so in-flight
+                # cells stream status between completions.
+                done, pending = wait(
+                    pending,
+                    timeout=1.0 if live is not None else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    i = future_index[future]
+                    # _run_cell converts cell exceptions to CellFailure; an
+                    # exception here means the pool itself broke (e.g. a
+                    # worker was killed), which is not attributable to one
+                    # cell.
+                    slots[i] = future.result()
+                    done_count += 1
+                    _log_outcome(log, done_count - 1, len(configs), slots[i])
+                if live is not None:
+                    line = _render_live_line(
+                        status_dir, future_index, slots, done_count, len(configs)
+                    )
+                    if line:
+                        live(line)
+    finally:
+        if status_dir is not None:
+            _cleanup_dir(status_dir)
     return [outcome for outcome in slots if outcome is not None]
+
+
+def _format_snapshot(snap: Dict) -> str:
+    """One cell's status snapshot as a compact human-readable fragment."""
+    hot = ",".join(str(peer) for peer, _count in snap.get("hot_peers", [])[:3])
+    return (
+        f"{snap.get('label', '?')} t={snap.get('t', 0.0):.0f}s "
+        f"ev={snap.get('engine_events', 0)} q={snap.get('queries', 0)}"
+        + (f" hot=[{hot}]" if hot else "")
+    )
+
+
+def _render_live_line(
+    status_dir: str,
+    future_index: Dict,
+    slots: List[Optional[CellOutcome]],
+    done_count: int,
+    total: int,
+) -> str:
+    """Compose the sweep-wide live status line from per-cell snapshots."""
+    running = []
+    for future, i in sorted(future_index.items(), key=lambda kv: kv[1]):
+        if slots[i] is not None:
+            continue
+        path = os.path.join(status_dir, f"cell{i}.json")
+        try:
+            with open(path) as fh:
+                running.append(_format_snapshot(json.load(fh)))
+        except (OSError, ValueError):
+            continue  # not started yet, or snapshot mid-replace
+    parts = [f"{done_count}/{total} cells done"]
+    if running:
+        parts.append("; ".join(running[:3]))
+        if len(running) > 3:
+            parts.append(f"(+{len(running) - 3} more)")
+    return " | ".join(parts)
+
+
+def _cleanup_dir(path: str) -> None:
+    import shutil
+
+    shutil.rmtree(path, ignore_errors=True)
 
 
 def _log_outcome(

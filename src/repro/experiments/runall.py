@@ -3,8 +3,8 @@
 Usage::
 
     python -m repro.experiments.runall [--peers N] [--queries Q] [--seed S]
-                                       [--jobs J] [--profile]
-                                       [--output report.md]
+                                       [--jobs J] [--profile] [--telemetry]
+                                       [--live] [--output report.md]
 
 Runs the full (algorithm x topology) grid once, renders all ten figures,
 and writes a markdown report (tables + qualitative checks).  This is the
@@ -55,18 +55,23 @@ def _report_cells(scale: ExperimentScale) -> List[tuple]:
 
 
 def build_report(
-    scale: ExperimentScale, progress=None, grid: Optional[ExperimentGrid] = None
+    scale: ExperimentScale,
+    progress=None,
+    grid: Optional[ExperimentGrid] = None,
+    live=None,
 ) -> str:
     """Run everything and return the markdown report.
 
     Pass a ``grid`` to reuse (and afterwards inspect) the populated cells
     -- ``main`` does this to gate its exit code on audit violations.
+    ``live`` is an optional ``callable(str)`` that receives one-line sweep
+    status updates while cells execute (implies telemetry collection).
     """
     log = progress or (lambda _msg: None)
     grid = grid if grid is not None else ExperimentGrid(scale)
-    if scale.jobs != 1:
+    if scale.jobs != 1 or live is not None:
         log(f"populating grid ({scale.jobs} jobs)")
-        grid.prefetch(_report_cells(scale), progress=log)
+        grid.prefetch(_report_cells(scale), progress=log, live=live)
     sections: List[str] = [
         "# ASAP reproduction report",
         "",
@@ -133,6 +138,60 @@ def build_report(
         fig7.patch_refresh_fraction > fig7.full_ad_fraction,
     )
     sections += ["## Shape checks", ""] + checks + [""]
+
+    if scale.telemetry:
+        from repro.obs.telemetry import merge_summaries
+
+        log("telemetry")
+        sections += ["## Telemetry", ""]
+        # The Figure 9 view from streaming sketches alone -- per-window
+        # load and in-window hotspots for the warmed-up ASAP(RW) system,
+        # no JSONL trace involved.
+        focus = grid.result("asap_rw", "crawled")
+        if focus.telemetry is not None:
+            sections += [
+                "Per-window load for `asap_rw/crawled` (streaming "
+                "telemetry; the Figure 9 time axis):",
+                "",
+                "```",
+                focus.telemetry.format_window_table(max_rows=12),
+                "```",
+                "",
+                "```",
+                focus.telemetry.format_hotspots(8),
+                "```",
+                "",
+            ]
+        rows = []
+        for algo in scale.algorithms:
+            tel = grid.result(algo, "crawled").telemetry
+            if tel is not None:
+                rows.append(f"  {algo:<12} {tel.load_std_bpns():>12.2f}")
+        if rows:
+            sections += [
+                "Load variation from telemetry windows "
+                "(std of per-window B/node/s on `crawled`):",
+                "",
+                "```",
+                f"  {'algorithm':<12} {'load_std':>12}",
+                *rows,
+                "```",
+                "",
+            ]
+        merged = merge_summaries(
+            grid.result(algo, topo).telemetry
+            for algo, topo in _report_cells(scale)
+        )
+        if merged is not None:
+            sections += [
+                "Sweep-wide hotspots (all cells merged, deterministic "
+                f"input-order merge; fingerprint `{merged.fingerprint()}`):",
+                "",
+                "```",
+                merged.format_hotspots(8),
+                "```",
+                "",
+            ]
 
     if scale.audit:
         log("audit")
@@ -213,6 +272,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run the invariant auditor on every cell and append an audit "
         "section; exit non-zero if any cell has violations",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect streaming telemetry in every cell and append a "
+        "telemetry section (per-window load + hotspots, no trace files)",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="stream a live sweep status line (per-cell progress and "
+        "current hotspots) to stderr while cells run; implies --telemetry",
+    )
     args = parser.parse_args(argv)
 
     scale = ExperimentScale(
@@ -221,14 +292,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         profile=args.profile,
         audit=args.audit,
+        telemetry=args.telemetry or args.live,
         jobs=args.jobs,
     )
     start = time.time()
     grid = ExperimentGrid(scale)
+    live = None
+    if args.live:
+        live = lambda msg: print(f"[live] {msg}", file=sys.stderr)  # noqa: E731
     report = build_report(
         scale,
         progress=lambda msg: print(f"[runall] {msg}", file=sys.stderr),
         grid=grid,
+        live=live,
     )
     elapsed = time.time() - start
     report += f"\n_generated in {elapsed:.0f}s_\n"

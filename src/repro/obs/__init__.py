@@ -1,13 +1,18 @@
 """Observability for the simulation stack: tracing, profiling, metrics.
 
-Four layers, all opt-in and zero-cost when disabled:
+Five layers, all opt-in and zero-cost when disabled:
 
-* :mod:`repro.obs.trace`   -- structured event/span tracing to JSONL;
+* :mod:`repro.obs.trace`   -- structured event/span tracing to JSONL
+  (optionally gzip-compressed, ``trace.jsonl.gz``);
 * :mod:`repro.obs.profile` -- per-subsystem / per-phase run accounting,
   attached to :class:`repro.simulation.results.RunResult` as a
   :class:`RunProfile`;
 * :mod:`repro.obs.metrics` -- counters / gauges / histograms exported as
   JSON and Prometheus text via ``python -m repro.obs.report``;
+* :mod:`repro.obs.telemetry` -- constant-memory streaming telemetry:
+  windowed load series, quantile sketches and heavy-hitter hotspots,
+  mergeable across cells (``run_experiment(config, telemetry=True)``,
+  ``python -m repro.obs.report telemetry``, ``runall --telemetry``);
 * :mod:`repro.obs.analyze` + :mod:`repro.obs.audit` -- causal lifecycle
   reconstruction from traces, runtime invariant checks and deterministic
   run fingerprints (``run_experiment(config, audit=True)``,
@@ -37,12 +42,23 @@ from repro.obs.profile import (
     merge_profiles,
     subsystem_of,
 )
+from repro.obs.telemetry import (
+    LogBucketSketch,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    SpaceSaving,
+    Telemetry,
+    TelemetrySummary,
+    merge_summaries,
+    quantile_nearest_rank,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     Span,
     TraceRecord,
     Tracer,
+    open_text_maybe_gzip,
     read_trace,
     read_trace_lines,
 )
@@ -54,13 +70,19 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "GaugeMetric",
     "HistogramMetric",
+    "LogBucketSketch",
     "MetricsRegistry",
+    "NULL_TELEMETRY",
     "NULL_TRACER",
+    "NullTelemetry",
     "NullTracer",
     "PhaseStats",
     "Profiler",
     "RunProfile",
+    "SpaceSaving",
     "Span",
+    "Telemetry",
+    "TelemetrySummary",
     "TraceAnalysis",
     "TraceRecord",
     "Tracer",
@@ -69,6 +91,9 @@ __all__ = [
     "diff_flat",
     "flatten",
     "merge_profiles",
+    "merge_summaries",
+    "open_text_maybe_gzip",
+    "quantile_nearest_rank",
     "read_trace",
     "read_trace_lines",
     "run_fingerprint",

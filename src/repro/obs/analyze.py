@@ -37,11 +37,11 @@ algorithms); consumers treat those categories as unchecked.
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+from repro.obs.telemetry import quantile_nearest_rank
 from repro.obs.trace import TraceRecord
 
 __all__ = [
@@ -129,12 +129,6 @@ class ChurnEvent:
     live: Optional[int]  # live count after the event (join/leave only)
 
 
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted non-empty sequence."""
-    idx = max(0, math.ceil(q * len(sorted_values)) - 1)
-    return float(sorted_values[idx])
-
-
 def _stats(values: Sequence[float]) -> Dict[str, float]:
     if not values:
         return {"n": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "max": 0.0}
@@ -142,8 +136,8 @@ def _stats(values: Sequence[float]) -> Dict[str, float]:
     return {
         "n": len(ordered),
         "mean": sum(ordered) / len(ordered),
-        "p50": _percentile(ordered, 0.50),
-        "p90": _percentile(ordered, 0.90),
+        "p50": quantile_nearest_rank(ordered, 0.50),
+        "p90": quantile_nearest_rank(ordered, 0.90),
         "max": float(ordered[-1]),
     }
 

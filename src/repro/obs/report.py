@@ -27,7 +27,16 @@ or a bare fingerprint file) and fails on drift -- the CI hook for
 
 ``python -m repro.obs.report analyze`` reconstructs causal lifecycles
 (:mod:`repro.obs.analyze`) from an existing ``trace.jsonl`` -- no
-simulation stack needed -- and emits the JSON summary.
+simulation stack needed -- and emits the JSON summary.  Traces may be
+gzip-compressed (``trace.jsonl.gz``); readers detect the suffix.
+
+``python -m repro.obs.report telemetry`` runs one experiment (or
+``--replications N`` seeds, optionally across ``--jobs J`` workers) with
+streaming telemetry (:mod:`repro.obs.telemetry`) -- constant-memory
+windowed load series, quantile sketches and heavy-hitter hotspots, no
+trace file -- and writes ``telemetry.json`` + ``telemetry.prom`` next to
+a Fig-9-style per-window table on stdout.  ``--live`` streams a status
+line to stderr while cells run.
 
 ``--replications N --jobs J`` additionally replays seeds ``seed .. seed+N-1``
 across ``J`` worker processes and folds the across-seed metric spread plus
@@ -43,6 +52,8 @@ Examples::
     python -m repro.obs.report audit --algorithm asap_rw --peers 120 \
         --queries 60 --out obs-audit --baseline baselines/asap_rw.json
     python -m repro.obs.report analyze --trace obs-audit/trace.jsonl
+    python -m repro.obs.report telemetry --algorithm asap_rw --peers 120 \
+        --queries 60 --replications 3 --jobs 2 --out obs-telemetry
 """
 
 from __future__ import annotations
@@ -57,7 +68,7 @@ from typing import List, Optional
 from repro.obs.metrics import MetricsRegistry, diff_flat, flatten
 from repro.obs.trace import Tracer
 
-__all__ = ["build_registry", "main", "render_diff"]
+__all__ = ["build_registry", "main", "render_diff", "telemetry_registry"]
 
 #: Response-time buckets in milliseconds (spans LAN RTTs to multi-ring
 #: flood timeouts at the scales the reproduction runs).
@@ -193,6 +204,78 @@ def build_registry(result, run_labels: Optional[dict] = None) -> MetricsRegistry
                 "ASAP ads-cache diagnostic (see repro.asap.diagnostics).",
             ).set(value)
 
+    return reg
+
+
+#: Quantiles exported for every telemetry sketch.
+_TELEMETRY_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def telemetry_registry(summary, run_labels: Optional[dict] = None) -> MetricsRegistry:
+    """Snapshot a :class:`~repro.obs.telemetry.TelemetrySummary` into metrics.
+
+    Exports the run-total counters, per-category byte totals, sketch
+    quantiles (response time, per-search cost, per-delivery bytes, per-peer
+    attributed load) and the top-K heavy-hitter peers/links -- everything a
+    scrape needs to chart load balance without storing a trace.
+    """
+    labels = dict(run_labels or {})
+    reg = MetricsRegistry()
+    reg.gauge(
+        "repro_telemetry_cells", "Runs merged into this summary.", **labels
+    ).set(summary.cells)
+    reg.gauge(
+        "repro_telemetry_windows", "Time windows covered.", **labels
+    ).set(len(summary.windows))
+    reg.gauge(
+        "repro_telemetry_window_seconds", "Window width (simulation s).", **labels
+    ).set(summary.window_s)
+    reg.gauge(
+        "repro_telemetry_load_std_bpns",
+        "Std dev of per-window load per node per second (Figure 9).",
+        **labels,
+    ).set(summary.load_std_bpns())
+    for key, value in sorted(summary.totals.items()):
+        if isinstance(value, dict):
+            for sub, v in sorted(value.items()):
+                reg.counter(
+                    f"repro_telemetry_{key}_total",
+                    "Telemetry run total per traffic category.",
+                    category=str(sub),
+                ).inc(v)
+        else:
+            reg.counter(
+                "repro_telemetry_events_total",
+                "Telemetry run-total counters.",
+                kind=str(key),
+            ).inc(value)
+    sketches = (
+        ("response_time_ms", summary.response_time_ms),
+        ("query_cost_bytes", summary.query_cost_bytes),
+        ("delivery_bytes", summary.delivery_bytes),
+        ("per_peer_bytes", summary.per_peer_bytes),
+    )
+    for name, sketch in sketches:
+        if sketch.count == 0:
+            continue
+        for q in _TELEMETRY_QUANTILES:
+            reg.gauge(
+                f"repro_telemetry_{name}",
+                "Streaming sketch quantile (relative error <= gamma-1).",
+                quantile=f"{q:g}",
+            ).set(sketch.quantile(q))
+    for key, count, _err in summary.hot_peers.top(summary.top_k):
+        reg.gauge(
+            "repro_telemetry_hot_peer_bytes",
+            "Bytes attributed to the hottest peers (Space-Saving top-K).",
+            peer=str(key),
+        ).set(count)
+    for key, count, _err in summary.hot_links.top(summary.top_k):
+        reg.gauge(
+            "repro_telemetry_hot_link_bytes",
+            "Bytes attributed to the hottest links (Space-Saving top-K).",
+            link=str(key),
+        ).set(count)
     return reg
 
 
@@ -404,6 +487,74 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.experiments.parallel import CellFailure, run_cells
+    from repro.obs.telemetry import merge_summaries
+    from repro.simulation.config import scaled_config
+
+    config = scaled_config(
+        args.algorithm,
+        args.topology,
+        n_peers=args.peers,
+        n_queries=args.queries,
+        seed=args.seed,
+        use_physical_network=not args.no_physical_network,
+    )
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    live = None
+    if args.live:
+        live = lambda msg: print(f"[live] {msg}", file=sys.stderr)  # noqa: E731
+    configs = [
+        replace(config, seed=config.seed + i) for i in range(args.replications)
+    ]
+    outcomes = run_cells(
+        configs,
+        jobs=args.jobs,
+        telemetry=True,
+        live=live,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    failures = [o for o in outcomes if isinstance(o, CellFailure)]
+    for failure in failures:
+        print(failure.describe(), file=sys.stderr)
+        print(failure.traceback, file=sys.stderr)
+    if failures:
+        return 1
+    # Input-order fold: bit-identical no matter how --jobs scheduled cells.
+    summary = merge_summaries(o.telemetry for o in outcomes)
+
+    json_path = out_dir / "telemetry.json"
+    json_path.write_text(
+        json.dumps(summary.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    prom_path = out_dir / "telemetry.prom"
+    registry = telemetry_registry(
+        summary,
+        run_labels={
+            "algorithm": args.algorithm,
+            "topology": args.topology,
+            "seed": str(args.seed),
+        },
+    )
+    prom_path.write_text(registry.to_prometheus())
+    print(f"wrote {json_path}", file=sys.stderr)
+    print(f"wrote {prom_path}", file=sys.stderr)
+
+    print(
+        f"{args.algorithm}/{args.topology} telemetry over "
+        f"{summary.cells} cell(s), fingerprint {summary.fingerprint()}"
+    )
+    print()
+    print(summary.format_window_table(max_rows=args.max_rows))
+    print()
+    print(summary.format_hotspots())
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     # Pure trace processing: works without the simulation stack.
     from repro.obs.analyze import analyze_trace
@@ -490,10 +641,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     audit_p.set_defaults(func=_cmd_audit)
 
+    tel_p = sub.add_parser(
+        "telemetry",
+        help="run with streaming telemetry and export windowed load, "
+        "sketches and hotspots (no trace file)",
+    )
+    tel_p.add_argument("--algorithm", default="asap_rw")
+    tel_p.add_argument("--topology", default="crawled")
+    tel_p.add_argument("--peers", type=int, default=120)
+    tel_p.add_argument("--queries", type=int, default=60)
+    tel_p.add_argument("--seed", type=int, default=0)
+    tel_p.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="seeds seed..seed+N-1 to run and merge (default 1)",
+    )
+    tel_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for --replications (0 = all cores); the "
+        "merged summary is bit-identical to --jobs 1",
+    )
+    tel_p.add_argument(
+        "--live",
+        action="store_true",
+        help="stream per-cell progress/hotspot status lines to stderr",
+    )
+    tel_p.add_argument("--out", default="obs-telemetry")
+    tel_p.add_argument(
+        "--max-rows",
+        type=int,
+        default=20,
+        help="cap on printed window-table rows (sampled evenly)",
+    )
+    tel_p.add_argument(
+        "--no-physical-network",
+        action="store_true",
+        help="skip the transit-stub substrate (faster smoke runs)",
+    )
+    tel_p.set_defaults(func=_cmd_telemetry)
+
     analyze_p = sub.add_parser(
         "analyze", help="summarise causal lifecycles from a trace.jsonl"
     )
-    analyze_p.add_argument("--trace", required=True, help="trace.jsonl path")
+    analyze_p.add_argument(
+        "--trace", required=True, help="trace.jsonl (or .jsonl.gz) path"
+    )
     analyze_p.add_argument(
         "--out", default=None, help="write the JSON summary here (default stdout)"
     )

@@ -1,0 +1,918 @@
+"""Streaming load telemetry: windowed series, sketches and heavy hitters.
+
+Tracing (:mod:`repro.obs.trace`) records *every* event and reconstructs the
+paper's load figures by replay -- exact, but O(events) in memory and output
+size, which cannot survive the ROADMAP's 100k-1M-peer scale-up or a live
+service mode.  This module is the complementary **aggregated** path: a
+constant-memory, opt-in :class:`Telemetry` accumulator that is updated
+inline at the existing hook sites (engine dispatch, query execution, ad
+delivery, confirmations, churn) and summarises into a small, mergeable,
+deterministic :class:`TelemetrySummary`:
+
+* **time-windowed load series** -- messages / bytes / queries per window,
+  globally and per traffic category (the Fig. 9 "load variation over time"
+  view, without a JSONL trace);
+* **streaming quantile sketches** -- fixed-gamma log-bucket histograms
+  (DDSketch-style; pure Python, no numpy) for response time and per-peer
+  load, with a relative-error guarantee of ``gamma - 1`` per quantile;
+* **top-K heavy hitters** -- Space-Saving-style trackers naming the
+  hottest peers and links, globally and per window.
+
+Design rules (mirroring :mod:`repro.obs.trace`):
+
+1. **Zero cost when disabled.**  Every hook site guards on
+   ``telemetry.enabled`` (plain attribute, one load + one branch);
+   :data:`NULL_TELEMETRY` is the shared disabled singleton.
+2. **Cheap when enabled.**  Inline updates are O(1) dict increments.  The
+   per-category byte series is *not* double-counted inline: every byte
+   already flows through :class:`~repro.sim.metrics.BandwidthLedger`'s
+   per-second buckets, so :meth:`Telemetry.summary` folds those buckets
+   into windows exactly, at zero inline cost.
+3. **Deterministic, associative merge.**  A :class:`TelemetrySummary`
+   contains only integer counts, ordered floats and sorted structures;
+   merging sums them key-wise.  Merging per-cell summaries in input order
+   is therefore bit-identical whether the cells ran serially or under
+   ``run_cells --jobs N`` (the PR 2 determinism contract), and each
+   summary carries a blake2b fingerprint over its canonical JSON form
+   (the PR 4 fingerprint idiom).
+
+The heavy-hitter tracker is Space-Saving with amortised batch eviction:
+admissions go into a plain dict; when the dict exceeds twice the capacity
+it is compacted to the ``capacity`` largest entries (count desc, key asc --
+deterministic) and the largest evicted count becomes the error floor
+inherited by subsequent admissions, exactly Space-Saving's count
+inheritance.  While the number of distinct keys stays within capacity the
+tracker is exact and its merge is associative; beyond that it degrades to
+the usual Space-Saving overestimate, bounded by ``error(key)``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from hashlib import blake2b
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LogBucketSketch",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpaceSaving",
+    "TELEMETRY_SCHEMA_VERSION",
+    "Telemetry",
+    "TelemetrySummary",
+    "merge_summaries",
+    "quantile_nearest_rank",
+]
+
+#: Version of the ``TelemetrySummary.to_dict`` schema.
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+def quantile_nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending-sorted sequence.
+
+    The single quantile definition shared by the trace analyzer and the
+    telemetry sketches: rank ``ceil(q * n)`` (1-based), clamped to the
+    first element for tiny ``q``.  ``sorted_values`` must be non-empty and
+    sorted ascending; ``q`` in [0, 1].
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile out of range: {q}")
+    n = len(sorted_values)
+    if n == 0:
+        raise ValueError("quantile of empty sequence")
+    idx = max(0, math.ceil(q * n) - 1)
+    return float(sorted_values[idx])
+
+
+class LogBucketSketch:
+    """A mergeable streaming quantile sketch over non-negative values.
+
+    DDSketch-style: value ``v > 0`` lands in bucket ``ceil(log(v, gamma))``,
+    so any quantile is answered with relative error at most ``gamma - 1``
+    (default 5%).  Zero values get a dedicated bucket.  Buckets are integer
+    counts in a dict -- merging two sketches adds counts key-wise, which is
+    exact, associative and commutative.  Min/max/sum/count are tracked
+    exactly alongside.
+    """
+
+    __slots__ = ("gamma", "_log_gamma", "buckets", "zero_count", "count",
+                 "total", "min", "max")
+
+    def __init__(self, gamma: float = 1.05) -> None:
+        if gamma <= 1.0:
+            raise ValueError(f"gamma must exceed 1, got {gamma}")
+        self.gamma = gamma
+        self._log_gamma = math.log(gamma)
+        self.buckets: Dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float, count: int = 1) -> None:
+        if value < 0:
+            raise ValueError(f"negative value: {value}")
+        self.count += count
+        self.total += value * count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value == 0:
+            self.zero_count += count
+            return
+        key = math.ceil(math.log(value) / self._log_gamma)
+        b = self.buckets
+        b[key] = b.get(key, 0) + count
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Approximate nearest-rank quantile (relative error <= gamma-1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))  # 1-based nearest rank
+        if rank <= self.zero_count:
+            return 0.0
+        seen = self.zero_count
+        for key in sorted(self.buckets):
+            seen += self.buckets[key]
+            if seen >= rank:
+                # Representative value: geometric bucket midpoint, clamped
+                # to the exact observed extremes.
+                rep = 2.0 * self.gamma ** key / (self.gamma + 1.0)
+                return min(max(rep, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always lands
+
+    def merge(self, other: "LogBucketSketch") -> None:
+        """Fold ``other`` into this sketch (exact on bucket counts)."""
+        if other.gamma != self.gamma:
+            raise ValueError(
+                f"cannot merge sketches with gamma {self.gamma} != {other.gamma}"
+            )
+        for key, count in other.buckets.items():
+            self.buckets[key] = self.buckets.get(key, 0) + count
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "gamma": self.gamma,
+            "count": self.count,
+            "zero_count": self.zero_count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            # JSON object keys must be strings; sorted for determinism.
+            "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "LogBucketSketch":
+        sketch = LogBucketSketch(gamma=d["gamma"])
+        sketch.count = int(d["count"])
+        sketch.zero_count = int(d["zero_count"])
+        sketch.total = float(d["total"])
+        sketch.min = math.inf if d["min"] is None else float(d["min"])
+        sketch.max = -math.inf if d["max"] is None else float(d["max"])
+        sketch.buckets = {int(k): int(v) for k, v in d["buckets"].items()}
+        return sketch
+
+    def summary_dict(self, quantiles: Sequence[float] = (0.5, 0.9, 0.99)) -> Dict[str, Any]:
+        """Small human-facing digest (count/mean/extremes/quantiles)."""
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "mean": None if self.count == 0 else self.mean,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+        for q in quantiles:
+            v = self.quantile(q)
+            out[f"p{int(q * 100)}"] = None if math.isnan(v) else v
+        return out
+
+
+class SpaceSaving:
+    """Top-K heavy-hitter tracker (Space-Saving, amortised batch eviction).
+
+    ``add(key, count)`` is an O(1) dict increment; when more than
+    ``2 * capacity`` distinct keys are retained, the tracker compacts to
+    the ``capacity`` largest (count desc, key asc) and the largest evicted
+    count becomes the floor inherited by later admissions (Space-Saving's
+    count-inheritance rule, applied in batch).  ``error(key)`` bounds the
+    overestimate.  Exact -- and merge-associative -- while the distinct
+    key count stays within capacity.
+    """
+
+    __slots__ = ("capacity", "counts", "errors", "floor")
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.counts: Dict[Any, int] = {}
+        self.errors: Dict[Any, int] = {}
+        self.floor = 0  # largest count ever evicted
+
+    def add(self, key: Any, count: int = 1) -> None:
+        counts = self.counts
+        if key in counts:
+            counts[key] += count
+        else:
+            # New key inherits the eviction floor (overestimate, never under).
+            counts[key] = self.floor + count
+            if self.floor:
+                self.errors[key] = self.floor
+            if len(counts) > 2 * self.capacity:
+                self._compact()
+
+    def _compact(self) -> None:
+        order = sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        evicted_max = order[self.capacity][1] if len(order) > self.capacity else 0
+        if evicted_max > self.floor:
+            self.floor = evicted_max
+        kept = order[: self.capacity]
+        self.counts = dict(kept)
+        self.errors = {k: e for k, e in self.errors.items() if k in self.counts}
+
+    def top(self, n: Optional[int] = None) -> List[Tuple[Any, int, int]]:
+        """The ``n`` heaviest keys as ``(key, count, error)`` tuples.
+
+        Deterministic order: count desc, then key asc.
+        """
+        order = sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        if n is not None:
+            order = order[:n]
+        return [(k, c, self.errors.get(k, 0)) for k, c in order]
+
+    def merge(self, other: "SpaceSaving") -> None:
+        """Fold ``other`` in: key-wise count sums, error floors add.
+
+        Associative and exact while the union of distinct keys fits within
+        capacity; beyond that, deterministic compaction applies.
+        """
+        counts = self.counts
+        for key, count in other.counts.items():
+            if key in counts:
+                counts[key] += count
+                err = self.errors.get(key, 0) + other.errors.get(key, 0)
+                if err:
+                    self.errors[key] = err
+            else:
+                counts[key] = count
+                err = other.errors.get(key, 0)
+                if err:
+                    self.errors[key] = err
+        self.floor += other.floor
+        if len(counts) > 2 * self.capacity:
+            self._compact()
+
+    def to_dict(self, top_n: Optional[int] = None) -> Dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "floor": self.floor,
+            "top": [
+                [_key_str(k), c, e] for k, c, e in self.top(top_n)
+            ],
+        }
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Full retained state (for lossless summary merging)."""
+        return {
+            "capacity": self.capacity,
+            "floor": self.floor,
+            "counts": {_key_str(k): c for k, c in sorted(
+                self.counts.items(), key=lambda kv: _key_str(kv[0])
+            )},
+            "errors": {_key_str(k): e for k, e in sorted(
+                self.errors.items(), key=lambda kv: _key_str(kv[0])
+            )},
+        }
+
+    @staticmethod
+    def from_state_dict(d: Dict[str, Any]) -> "SpaceSaving":
+        ss = SpaceSaving(capacity=int(d["capacity"]))
+        ss.floor = int(d["floor"])
+        ss.counts = {k: int(v) for k, v in d["counts"].items()}
+        ss.errors = {k: int(v) for k, v in d["errors"].items()}
+        return ss
+
+
+def _key_str(key: Any) -> str:
+    """Canonical string form for heavy-hitter keys (peers and links)."""
+    if isinstance(key, tuple):
+        return "->".join(str(int(k)) for k in key)
+    return str(key)
+
+
+class _WindowStats:
+    """Inline per-window counters (everything the ledger does not know)."""
+
+    __slots__ = ("queries", "hits", "local_hits", "deliveries", "joins",
+                 "leaves", "repairs", "ads_requests", "confirmations",
+                 "engine_events", "peers", "links")
+
+    def __init__(self, hh_capacity: int) -> None:
+        self.queries = 0
+        self.hits = 0
+        self.local_hits = 0
+        self.deliveries = 0
+        self.joins = 0
+        self.leaves = 0
+        self.repairs = 0
+        self.ads_requests = 0
+        self.confirmations = 0
+        self.engine_events = 0
+        self.peers = SpaceSaving(hh_capacity)
+        self.links = SpaceSaving(hh_capacity)
+
+
+class Telemetry:
+    """The live, mutable telemetry accumulator attached to one run.
+
+    Construct with ``window_s`` (window width in simulation seconds) and
+    attach via ``run_experiment(..., telemetry=True)`` or directly with
+    ``algorithm.set_telemetry(t)`` / ``engine.set_telemetry(t)``.  Call
+    :meth:`summary` once the run completes to freeze it into a mergeable
+    :class:`TelemetrySummary`.
+
+    ``status_path``/``status_fn`` enable the live view: every
+    ``status_interval_s`` of simulation time the accumulator writes (or
+    calls back with) a compact JSON snapshot of progress and current
+    hotspots -- this is how ``run_cells --live`` streams per-cell state
+    out of worker processes.
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        window_s: float = 10.0,
+        gamma: float = 1.05,
+        top_k: int = 8,
+        hh_capacity: int = 64,
+        window_hh_capacity: int = 16,
+        status_path: Optional[str] = None,
+        status_fn: Optional[Callable[[Dict[str, Any]], None]] = None,
+        status_interval_s: float = 60.0,
+        label: str = "",
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.window_s = float(window_s)
+        self.gamma = gamma
+        self.top_k = top_k
+        self.hh_capacity = hh_capacity
+        self.window_hh_capacity = window_hh_capacity
+        self.label = label
+        self._windows: Dict[int, _WindowStats] = {}
+        self.response_time_ms = LogBucketSketch(gamma)
+        self.query_cost_bytes = LogBucketSketch(gamma)
+        self.delivery_bytes = LogBucketSketch(gamma)
+        self.hot_peers = SpaceSaving(hh_capacity)
+        self.hot_links = SpaceSaving(hh_capacity)
+        self._peer_bytes: Dict[int, float] = {}  # node -> attributed bytes
+        self.engine_events = 0
+        self._status_path = status_path
+        self._status_fn = status_fn
+        self._status_interval = float(status_interval_s)
+        self._status_next = 0.0
+        self._status_t = 0.0
+
+    # ------------------------------------------------------------- internals
+    def _window(self, t: float) -> _WindowStats:
+        w = int(t // self.window_s)
+        win = self._windows.get(w)
+        if win is None:
+            win = self._windows[w] = _WindowStats(self.window_hh_capacity)
+        return win
+
+    # ------------------------------------------------------------ hook sites
+    def record_engine_event(self, t: float) -> None:
+        """One engine dispatch at simulation time ``t`` (hot path)."""
+        self.engine_events += 1
+        self._window(t).engine_events += 1
+        if t >= self._status_next:
+            self._status_t = t
+            self._status_next = t + self._status_interval
+            self._emit_status()
+
+    def record_query(self, t: float, requester: int, outcome: Any) -> None:
+        """One completed search request (called from the ``search`` template)."""
+        win = self._window(t)
+        win.queries += 1
+        if outcome.success:
+            win.hits += 1
+            if outcome.local_hit:
+                win.local_hits += 1
+            else:
+                self.response_time_ms.add(outcome.response_time_ms)
+        self.query_cost_bytes.add(outcome.cost_bytes)
+
+    def record_peer_bytes(self, t: float, node: int, nbytes: float) -> None:
+        """Attribute ``nbytes`` of load to ``node`` at time ``t``."""
+        node = int(node)
+        self._peer_bytes[node] = self._peer_bytes.get(node, 0.0) + nbytes
+        n = int(nbytes)
+        if n:
+            self.hot_peers.add(node, n)
+            self._window(t).peers.add(node, n)
+
+    def record_link(self, t: float, src: int, dst: int, nbytes: float) -> None:
+        """Attribute ``nbytes`` to the directed link ``src -> dst``."""
+        n = int(nbytes)
+        if n:
+            key = (int(src), int(dst))
+            self.hot_links.add(key, n)
+            self._window(t).links.add(key, n)
+
+    def record_confirmation(
+        self, t: float, requester: int, target: int, nbytes: float
+    ) -> None:
+        """One content-confirmation exchange ``requester -> target``."""
+        self._window(t).confirmations += 1
+        self.record_peer_bytes(t, target, nbytes)
+        self.record_link(t, requester, target, nbytes)
+
+    def record_delivery(
+        self, t: float, source: int, nbytes: float, messages: int
+    ) -> None:
+        """One ad delivery originating at ``source`` (flood or walk batch)."""
+        self._window(t).deliveries += 1
+        self.delivery_bytes.add(nbytes)
+        self.record_peer_bytes(t, source, nbytes)
+
+    def record_ads_request(self, t: float, node: int, nbytes: float) -> None:
+        """One ads-request/reply exchange served by ``node``."""
+        self._window(t).ads_requests += 1
+        self.record_peer_bytes(t, node, nbytes)
+
+    def record_repair(self, t: float, source: int, nbytes: float) -> None:
+        """One cache-repair exchange served by ``source``."""
+        self._window(t).repairs += 1
+        self.record_peer_bytes(t, source, nbytes)
+
+    def record_churn(self, t: float, joined: bool) -> None:
+        win = self._window(t)
+        if joined:
+            win.joins += 1
+        else:
+            win.leaves += 1
+
+    # ------------------------------------------------------------- live view
+    def status_snapshot(self) -> Dict[str, Any]:
+        """Compact progress + hotspot snapshot for the live status line."""
+        return {
+            "label": self.label,
+            "t": self._status_t,
+            "engine_events": self.engine_events,
+            "queries": sum(w.queries for w in self._windows.values()),
+            "hot_peers": [
+                [_key_str(k), c] for k, c, _ in self.hot_peers.top(3)
+            ],
+        }
+
+    def _emit_status(self) -> None:
+        if self._status_fn is None and self._status_path is None:
+            return
+        snap = self.status_snapshot()
+        if self._status_fn is not None:
+            self._status_fn(snap)
+        if self._status_path is not None:
+            # Atomic replace so the polling parent never reads a torn file.
+            tmp = f"{self._status_path}.tmp"
+            with open(tmp, "w") as fh:
+                json.dump(snap, fh, separators=(",", ":"))
+            os.replace(tmp, self._status_path)
+
+    # --------------------------------------------------------------- summary
+    def summary(
+        self,
+        ledger: Optional[Any] = None,
+        live_counts: Optional[Sequence[int]] = None,
+        t_start: int = 0,
+        t_end: Optional[int] = None,
+        load_categories: Optional[Iterable[Any]] = None,
+    ) -> "TelemetrySummary":
+        """Freeze into a mergeable :class:`TelemetrySummary`.
+
+        ``ledger`` supplies the exact per-category byte/message series: its
+        per-second buckets are folded into windows here, so the inline hook
+        sites never double-account bytes.  ``live_counts`` (live peers per
+        second, indexed from ``t_start``) enables the per-node-per-second
+        normalisation of the paper's Figures 8/9.
+        """
+        windows: Dict[int, Dict[str, Any]] = {}
+        for w in sorted(self._windows):
+            s = self._windows[w]
+            windows[w] = {
+                "queries": s.queries,
+                "hits": s.hits,
+                "local_hits": s.local_hits,
+                "deliveries": s.deliveries,
+                "joins": s.joins,
+                "leaves": s.leaves,
+                "repairs": s.repairs,
+                "ads_requests": s.ads_requests,
+                "confirmations": s.confirmations,
+                "engine_events": s.engine_events,
+                "bytes": {},
+                "messages": 0,
+                "load_bytes": 0.0,
+                "live_node_seconds": 0,
+                "top_peers": s.peers.state_dict(),
+                "top_links": s.links.state_dict(),
+            }
+        if ledger is not None:
+            load_cats = frozenset(load_categories) if load_categories else frozenset()
+            for second, by_cat in ledger._buckets.items():
+                w = int(second // self.window_s)
+                win = windows.get(w)
+                if win is None:
+                    win = windows[w] = _empty_window(self.window_hh_capacity)
+                for cat, nbytes in by_cat.items():
+                    name = cat.value
+                    win["bytes"][name] = win["bytes"].get(name, 0.0) + nbytes
+                    if cat in load_cats:
+                        win["load_bytes"] += nbytes
+        if live_counts is not None and t_end is not None:
+            for second in range(t_start, t_end):
+                w = int(second // self.window_s)
+                win = windows.get(w)
+                if win is not None:
+                    win["live_node_seconds"] += int(live_counts[second - t_start])
+        per_peer = LogBucketSketch(self.gamma)
+        for node in sorted(self._peer_bytes):
+            per_peer.add(self._peer_bytes[node])
+        totals: Dict[str, Any] = {
+            "engine_events": self.engine_events,
+            "queries": sum(w["queries"] for w in windows.values()),
+            "hits": sum(w["hits"] for w in windows.values()),
+            "deliveries": sum(w["deliveries"] for w in windows.values()),
+            "joins": sum(w["joins"] for w in windows.values()),
+            "leaves": sum(w["leaves"] for w in windows.values()),
+            "attributed_peers": len(self._peer_bytes),
+        }
+        if ledger is not None:
+            totals["bytes"] = {
+                cat.value: float(v) for cat, v in sorted(
+                    ledger.category_totals().items(), key=lambda kv: kv[0].value
+                )
+            }
+            totals["messages"] = int(ledger.total_messages())
+        # Freeze heavy hitters with canonical string keys so every summary
+        # (fresh or merged) sorts and merges over the same key domain.
+        return TelemetrySummary(
+            window_s=self.window_s,
+            windows={w: windows[w] for w in sorted(windows)},
+            response_time_ms=self.response_time_ms,
+            query_cost_bytes=self.query_cost_bytes,
+            delivery_bytes=self.delivery_bytes,
+            per_peer_bytes=per_peer,
+            hot_peers=SpaceSaving.from_state_dict(self.hot_peers.state_dict()),
+            hot_links=SpaceSaving.from_state_dict(self.hot_links.state_dict()),
+            totals=totals,
+            top_k=self.top_k,
+            cells=1,
+            labels=[self.label] if self.label else [],
+        )
+
+
+def _empty_window(hh_capacity: int = 16) -> Dict[str, Any]:
+    empty_hh = {"capacity": hh_capacity, "floor": 0, "counts": {}, "errors": {}}
+    return {
+        "queries": 0, "hits": 0, "local_hits": 0, "deliveries": 0,
+        "joins": 0, "leaves": 0, "repairs": 0, "ads_requests": 0,
+        "confirmations": 0, "engine_events": 0, "bytes": {}, "messages": 0,
+        "load_bytes": 0.0, "live_node_seconds": 0,
+        "top_peers": dict(empty_hh, counts={}, errors={}),
+        "top_links": dict(empty_hh, counts={}, errors={}),
+    }
+
+
+_WINDOW_COUNTERS = (
+    "queries", "hits", "local_hits", "deliveries", "joins", "leaves",
+    "repairs", "ads_requests", "confirmations", "engine_events", "messages",
+)
+
+
+class TelemetrySummary:
+    """Frozen, mergeable digest of one (or several merged) runs.
+
+    Everything in here is plain data: it pickles across process boundaries,
+    merges associatively in input order, serialises deterministically via
+    :meth:`to_dict` (sorted keys throughout) and fingerprints with blake2b
+    over its canonical JSON form.
+    """
+
+    def __init__(
+        self,
+        window_s: float,
+        windows: Dict[int, Dict[str, Any]],
+        response_time_ms: LogBucketSketch,
+        query_cost_bytes: LogBucketSketch,
+        delivery_bytes: LogBucketSketch,
+        per_peer_bytes: LogBucketSketch,
+        hot_peers: SpaceSaving,
+        hot_links: SpaceSaving,
+        totals: Dict[str, Any],
+        top_k: int = 8,
+        cells: int = 1,
+        labels: Optional[List[str]] = None,
+    ) -> None:
+        self.window_s = window_s
+        self.windows = windows
+        self.response_time_ms = response_time_ms
+        self.query_cost_bytes = query_cost_bytes
+        self.delivery_bytes = delivery_bytes
+        self.per_peer_bytes = per_peer_bytes
+        self.hot_peers = hot_peers
+        self.hot_links = hot_links
+        self.totals = totals
+        self.top_k = top_k
+        self.cells = cells
+        self.labels = labels or []
+
+    # ----------------------------------------------------------------- merge
+    def merge(self, other: "TelemetrySummary") -> "TelemetrySummary":
+        """Return a new summary folding ``other`` into this one.
+
+        Window counters and sketch buckets add key-wise; heavy hitters
+        merge per Space-Saving.  Associative (exactly so while distinct
+        heavy-hitter keys fit within capacity) and performed in the order
+        given, so folding per-cell summaries left-to-right yields the same
+        bits regardless of how the cells themselves were scheduled.
+        """
+        if other.window_s != self.window_s:
+            raise ValueError(
+                f"window mismatch: {self.window_s} != {other.window_s}"
+            )
+        windows: Dict[int, Dict[str, Any]] = {}
+        for w in sorted(set(self.windows) | set(other.windows)):
+            a = self.windows.get(w)
+            b = other.windows.get(w)
+            if a is None:
+                windows[w] = _copy_window(b)
+                continue
+            if b is None:
+                windows[w] = _copy_window(a)
+                continue
+            win = _copy_window(a)
+            for name in _WINDOW_COUNTERS:
+                win[name] += b[name]
+            for cat, v in b["bytes"].items():
+                win["bytes"][cat] = win["bytes"].get(cat, 0.0) + v
+            win["load_bytes"] += b["load_bytes"]
+            win["live_node_seconds"] += b["live_node_seconds"]
+            pa = SpaceSaving.from_state_dict(win["top_peers"])
+            pa.merge(SpaceSaving.from_state_dict(b["top_peers"]))
+            win["top_peers"] = pa.state_dict()
+            la = SpaceSaving.from_state_dict(win["top_links"])
+            la.merge(SpaceSaving.from_state_dict(b["top_links"]))
+            win["top_links"] = la.state_dict()
+            windows[w] = win
+        rt = _copy_sketch(self.response_time_ms)
+        rt.merge(other.response_time_ms)
+        qc = _copy_sketch(self.query_cost_bytes)
+        qc.merge(other.query_cost_bytes)
+        db = _copy_sketch(self.delivery_bytes)
+        db.merge(other.delivery_bytes)
+        pp = _copy_sketch(self.per_peer_bytes)
+        pp.merge(other.per_peer_bytes)
+        hp = SpaceSaving.from_state_dict(self.hot_peers.state_dict())
+        hp.merge(other.hot_peers)
+        hl = SpaceSaving.from_state_dict(self.hot_links.state_dict())
+        hl.merge(other.hot_links)
+        totals = _merge_totals(self.totals, other.totals)
+        return TelemetrySummary(
+            window_s=self.window_s,
+            windows=windows,
+            response_time_ms=rt,
+            query_cost_bytes=qc,
+            delivery_bytes=db,
+            per_peer_bytes=pp,
+            hot_peers=hp,
+            hot_links=hl,
+            totals=totals,
+            top_k=self.top_k,
+            cells=self.cells + other.cells,
+            labels=self.labels + other.labels,
+        )
+
+    # ------------------------------------------------------------- serialise
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict form (sorted keys at every level)."""
+        return {
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "window_s": self.window_s,
+            "cells": self.cells,
+            "labels": list(self.labels),
+            "totals": _sorted_dict(self.totals),
+            "windows": {
+                str(w): _window_to_dict(self.windows[w])
+                for w in sorted(self.windows)
+            },
+            "response_time_ms": self.response_time_ms.to_dict(),
+            "query_cost_bytes": self.query_cost_bytes.to_dict(),
+            "delivery_bytes": self.delivery_bytes.to_dict(),
+            "per_peer_bytes": self.per_peer_bytes.to_dict(),
+            "hot_peers": self.hot_peers.to_dict(),
+            "hot_links": self.hot_links.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """blake2b over the canonical JSON form (the PR 4 idiom)."""
+        return blake2b(self.to_json().encode(), digest_size=16).hexdigest()
+
+    # --------------------------------------------------------------- queries
+    def window_rows(self) -> List[Dict[str, Any]]:
+        """Per-window rows (ascending), with per-node-per-second load."""
+        rows = []
+        for w in sorted(self.windows):
+            win = self.windows[w]
+            nodesec = win["live_node_seconds"]
+            load_bpns = win["load_bytes"] / nodesec if nodesec else None
+            peers = SpaceSaving.from_state_dict(win["top_peers"])
+            rows.append(
+                {
+                    "window": w,
+                    "t_start": w * self.window_s,
+                    "load_bytes": win["load_bytes"],
+                    "load_bpns": load_bpns,
+                    "queries": win["queries"],
+                    "hits": win["hits"],
+                    "deliveries": win["deliveries"],
+                    "joins": win["joins"],
+                    "leaves": win["leaves"],
+                    "top_peers": [[k, c] for k, c, _ in peers.top(3)],
+                }
+            )
+        return rows
+
+    def format_window_table(self, max_rows: Optional[int] = None) -> str:
+        """A Fig-9-style per-window load table (text)."""
+        rows = [r for r in self.window_rows() if r["load_bytes"] > 0 or r["queries"] > 0]
+        if max_rows is not None and len(rows) > max_rows:
+            step = math.ceil(len(rows) / max_rows)
+            rows = rows[::step]
+        lines = [
+            f"{'t[s]':>8}  {'load[B]':>12}  {'B/node/s':>9}  {'queries':>7}  "
+            f"{'hits':>5}  {'ads':>5}  {'churn':>5}  hottest peers"
+        ]
+        for r in rows:
+            bpns = f"{r['load_bpns']:.1f}" if r["load_bpns"] is not None else "-"
+            churn = r["joins"] + r["leaves"]
+            hot = ",".join(k for k, _ in r["top_peers"]) or "-"
+            lines.append(
+                f"{r['t_start']:>8.0f}  {r['load_bytes']:>12.0f}  {bpns:>9}  "
+                f"{r['queries']:>7}  {r['hits']:>5}  {r['deliveries']:>5}  "
+                f"{churn:>5}  {hot}"
+            )
+        return "\n".join(lines)
+
+    def format_hotspots(self, n: Optional[int] = None) -> str:
+        """Top-K hottest peers and links over the whole run (text)."""
+        n = n or self.top_k
+        lines = ["hottest peers (bytes attributed):"]
+        for key, count, err in self.hot_peers.top(n):
+            suffix = f" (±{err})" if err else ""
+            lines.append(f"  peer {_key_str(key):>12}  {count:>12}{suffix}")
+        lines.append("hottest links (bytes attributed):")
+        for key, count, err in self.hot_links.top(n):
+            suffix = f" (±{err})" if err else ""
+            lines.append(f"  link {_key_str(key):>12}  {count:>12}{suffix}")
+        return "\n".join(lines)
+
+    def load_std_bpns(self) -> float:
+        """Std dev of per-window load per node per second (Fig. 9 metric)."""
+        vals = [
+            r["load_bpns"] for r in self.window_rows() if r["load_bpns"] is not None
+        ]
+        if not vals:
+            return math.nan
+        mean = sum(vals) / len(vals)
+        return math.sqrt(sum((v - mean) ** 2 for v in vals) / len(vals))
+
+
+def _copy_window(win: Dict[str, Any]) -> Dict[str, Any]:
+    out = dict(win)
+    out["bytes"] = dict(win["bytes"])
+    out["top_peers"] = {
+        "capacity": win["top_peers"]["capacity"],
+        "floor": win["top_peers"]["floor"],
+        "counts": dict(win["top_peers"]["counts"]),
+        "errors": dict(win["top_peers"]["errors"]),
+    }
+    out["top_links"] = {
+        "capacity": win["top_links"]["capacity"],
+        "floor": win["top_links"]["floor"],
+        "counts": dict(win["top_links"]["counts"]),
+        "errors": dict(win["top_links"]["errors"]),
+    }
+    return out
+
+
+def _copy_sketch(sketch: LogBucketSketch) -> LogBucketSketch:
+    return LogBucketSketch.from_dict(sketch.to_dict())
+
+
+def _merge_totals(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if isinstance(va, dict) or isinstance(vb, dict):
+            out[key] = _merge_totals(va or {}, vb or {})
+        else:
+            out[key] = (va or 0) + (vb or 0)
+    return out
+
+
+def _sorted_dict(d: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        k: _sorted_dict(v) if isinstance(v, dict) else v
+        for k, v in sorted(d.items())
+    }
+
+
+def _window_to_dict(win: Dict[str, Any]) -> Dict[str, Any]:
+    out = {k: win[k] for k in sorted(win) if k not in ("top_peers", "top_links", "bytes")}
+    out["bytes"] = _sorted_dict(win["bytes"])
+    out["top_peers"] = _sorted_dict(win["top_peers"])
+    out["top_links"] = _sorted_dict(win["top_links"])
+    return out
+
+
+def merge_summaries(
+    summaries: Iterable[Optional["TelemetrySummary"]],
+) -> Optional["TelemetrySummary"]:
+    """Fold summaries left-to-right (input order -- the determinism contract).
+
+    ``None`` entries are skipped; an empty input yields ``None`` (the merge
+    identity), so ``merge_summaries([])`` composes cleanly.
+    """
+    merged: Optional[TelemetrySummary] = None
+    for s in summaries:
+        if s is None:
+            continue
+        merged = s if merged is None else merged.merge(s)
+    return merged
+
+
+class NullTelemetry(Telemetry):
+    """The disabled accumulator: every hook site no-ops through it.
+
+    Hot paths guard on ``telemetry.enabled`` and never call the record
+    methods; these overrides keep un-guarded (cold) call sites side-effect
+    free, mirroring :class:`~repro.obs.trace.NullTracer`.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def record_engine_event(self, t):  # type: ignore[override]
+        return None
+
+    def record_query(self, t, requester, outcome):  # type: ignore[override]
+        return None
+
+    def record_peer_bytes(self, t, node, nbytes):  # type: ignore[override]
+        return None
+
+    def record_link(self, t, src, dst, nbytes):  # type: ignore[override]
+        return None
+
+    def record_confirmation(self, t, requester, target, nbytes):  # type: ignore[override]
+        return None
+
+    def record_delivery(self, t, source, nbytes, messages):  # type: ignore[override]
+        return None
+
+    def record_ads_request(self, t, node, nbytes):  # type: ignore[override]
+        return None
+
+    def record_repair(self, t, source, nbytes):  # type: ignore[override]
+        return None
+
+    def record_churn(self, t, joined):  # type: ignore[override]
+        return None
+
+
+#: Shared disabled telemetry; components default to this.
+NULL_TELEMETRY = NullTelemetry()

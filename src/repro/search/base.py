@@ -22,6 +22,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.network.overlay import Overlay
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.metrics import BandwidthLedger, TrafficCategory
 from repro.workload.content import ContentIndex
@@ -103,6 +104,7 @@ class SearchAlgorithm(abc.ABC):
         self.sizes = sizes or MessageSizes()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.tracer: Tracer = NULL_TRACER
+        self.telemetry: Telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------ interface
     def search(
@@ -118,34 +120,38 @@ class SearchAlgorithm(abc.ABC):
         """
         tracer = self.tracer
         if not tracer.enabled:
-            return self._search_impl(requester, terms, now)
-        with tracer.span(
-            "query", self.name, now, requester=int(requester), terms=len(terms)
-        ) as span:
-            # Snapshot the ledger around the request so the span carries the
-            # exact per-category byte movement this search caused -- the
-            # auditor's conservation check sums these deltas (plus the
-            # top-level ad-lifecycle events) and compares against the
-            # ledger's own totals.
-            before = self.ledger.category_totals()
             outcome = self._search_impl(requester, terms, now)
-            after = self.ledger.category_totals()
-            delta = {
-                cat.value: moved
-                for cat, total in after.items()
-                if (moved := total - before.get(cat, 0.0)) != 0.0
-            }
-            span.annotate(
-                success=outcome.success,
-                messages=outcome.messages,
-                cost_bytes=outcome.cost_bytes,
-                results=outcome.results,
-                local_hit=outcome.local_hit,
-                response_time_ms=(
-                    outcome.response_time_ms if outcome.success else None
-                ),
-                ledger_delta=delta,
-            )
+        else:
+            with tracer.span(
+                "query", self.name, now, requester=int(requester), terms=len(terms)
+            ) as span:
+                # Snapshot the ledger around the request so the span carries
+                # the exact per-category byte movement this search caused --
+                # the auditor's conservation check sums these deltas (plus
+                # the top-level ad-lifecycle events) and compares against
+                # the ledger's own totals.
+                before = self.ledger.category_totals()
+                outcome = self._search_impl(requester, terms, now)
+                after = self.ledger.category_totals()
+                delta = {
+                    cat.value: moved
+                    for cat, total in after.items()
+                    if (moved := total - before.get(cat, 0.0)) != 0.0
+                }
+                span.annotate(
+                    success=outcome.success,
+                    messages=outcome.messages,
+                    cost_bytes=outcome.cost_bytes,
+                    results=outcome.results,
+                    local_hit=outcome.local_hit,
+                    response_time_ms=(
+                        outcome.response_time_ms if outcome.success else None
+                    ),
+                    ledger_delta=delta,
+                )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.record_query(now, int(requester), outcome)
         return outcome
 
     def _search_impl(
@@ -163,6 +169,10 @@ class SearchAlgorithm(abc.ABC):
     def set_tracer(self, tracer: Tracer) -> None:
         """Attach a tracer (subclasses propagate it to their components)."""
         self.tracer = tracer
+
+    def set_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach a telemetry accumulator (subclasses propagate it)."""
+        self.telemetry = telemetry
 
     def warmup(self, engine, start: float, duration: float) -> None:
         """Pre-trace preparation (ASAP's initial ad dissemination).

@@ -70,6 +70,14 @@ class ExpandingRingSearch(SearchAlgorithm):
                     response_bytes,
                     messages=response_msgs,
                 )
+                telemetry = self.telemetry
+                if telemetry.enabled:
+                    telemetry.record_peer_bytes(now, requester, total_bytes)
+                    for v in hits:
+                        telemetry.record_peer_bytes(
+                            now, int(v),
+                            int(first_hop[v]) * self.sizes.query_response,
+                        )
                 response_time = elapsed_ms + 2.0 * min(
                     float(arrival[v]) for v in hits
                 )
@@ -87,4 +95,6 @@ class ExpandingRingSearch(SearchAlgorithm):
             ring_horizon = 2.0 * float(finite.max()) if len(finite) else 0.0
             elapsed_ms += ring_horizon
 
+        if self.telemetry.enabled:
+            self.telemetry.record_peer_bytes(now, requester, total_bytes)
         return self._failure(total_msgs, total_bytes)

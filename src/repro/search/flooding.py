@@ -99,6 +99,11 @@ class FloodingSearch(SearchAlgorithm):
             now, TrafficCategory.QUERY, query_bytes, messages=n_query_msgs
         )
 
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            # The requester fans the query out; charge the flood to it.
+            telemetry.record_peer_bytes(now, requester, query_bytes)
+
         hits = [
             v
             for v in self._matching_live_nodes(terms, exclude=requester)
@@ -117,6 +122,12 @@ class FloodingSearch(SearchAlgorithm):
             response_bytes,
             messages=response_msgs,
         )
+        if telemetry.enabled:
+            # Each responder sends hop(v) reverse-path transmissions.
+            for v in hits:
+                telemetry.record_peer_bytes(
+                    now, int(v), int(first_hop[v]) * self.sizes.query_response
+                )
         response_time = 2.0 * min(float(arrival[v]) for v in hits)
         return SearchOutcome(
             success=True,

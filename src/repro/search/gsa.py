@@ -152,7 +152,10 @@ class GsaSearch(SearchAlgorithm):
         self.ledger.record(now, TrafficCategory.QUERY, 0.0, messages=n_messages)
 
         cost_bytes = n_messages * self.sizes.query
+        telemetry = self.telemetry
         if hit_node is None:
+            if telemetry.enabled:
+                telemetry.record_peer_bytes(now, requester, cost_bytes)
             return self._failure(n_messages, cost_bytes)
 
         # Reply bytes arrive at the requester after the direct reply hop.
@@ -163,6 +166,12 @@ class GsaSearch(SearchAlgorithm):
             self.sizes.query_response,
             messages=1,
         )
+        if telemetry.enabled:
+            telemetry.record_peer_bytes(now, requester, cost_bytes)
+            telemetry.record_peer_bytes(now, int(hit_node), self.sizes.query_response)
+            telemetry.record_link(
+                now, int(hit_node), requester, self.sizes.query_response
+            )
         return SearchOutcome(
             success=True,
             response_time_ms=hit_time_ms + reply_lat,

@@ -152,7 +152,10 @@ class RandomWalkSearch(SearchAlgorithm):
         self.ledger.record(now, TrafficCategory.QUERY, 0.0, messages=n_messages)
 
         cost_bytes = n_messages * self.sizes.query
+        telemetry = self.telemetry
         if hit_node is None:
+            if telemetry.enabled:
+                telemetry.record_peer_bytes(now, requester, cost_bytes)
             return self._failure(n_messages, cost_bytes)
 
         # Direct reply from the hit node to the requester, recorded at the
@@ -164,6 +167,14 @@ class RandomWalkSearch(SearchAlgorithm):
             self.sizes.query_response,
             messages=1,
         )
+        if telemetry.enabled:
+            # Walk traffic is charged to the initiating requester; the hit
+            # node pays for its direct reply.
+            telemetry.record_peer_bytes(now, requester, cost_bytes)
+            telemetry.record_peer_bytes(now, int(hit_node), self.sizes.query_response)
+            telemetry.record_link(
+                now, int(hit_node), requester, self.sizes.query_response
+            )
         return SearchOutcome(
             success=True,
             response_time_ms=hit_time_ms + reply_lat,

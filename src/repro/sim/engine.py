@@ -79,6 +79,10 @@ class SimulationEngine:
         # Observer with event_begin(event)/event_end(event); None keeps the
         # dispatch loop on its unobserved fast path (a single branch).
         self._observer: Optional[Any] = None
+        # Streaming telemetry accumulator (repro.obs.telemetry.Telemetry);
+        # None keeps dispatch on the fast path -- one extra branch, same
+        # discipline as the observer slot.
+        self._telemetry: Optional[Any] = None
 
     def _note_cancel(self) -> None:
         self._cancelled_in_heap += 1
@@ -105,6 +109,26 @@ class SimulationEngine:
                 "observer must provide event_begin(event) and event_end(event)"
             )
         self._observer = observer
+
+    @property
+    def telemetry(self) -> Optional[Any]:
+        """The installed telemetry accumulator (None when disabled)."""
+        return self._telemetry
+
+    def set_telemetry(self, telemetry: Optional[Any]) -> None:
+        """Install (or, with None, remove) a telemetry accumulator.
+
+        ``telemetry.record_engine_event(t)`` is called after every executed
+        event; disabled accumulators (``enabled`` false) are normalised to
+        None so the dispatch loop keeps its single-branch fast path.
+        """
+        if telemetry is not None and not getattr(telemetry, "enabled", False):
+            telemetry = None
+        if telemetry is not None and not callable(
+            getattr(telemetry, "record_engine_event", None)
+        ):
+            raise SimulationError("telemetry must provide record_engine_event(t)")
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------ clock
     @property
@@ -185,6 +209,7 @@ class SimulationEngine:
         pop = heapq.heappop
         # Read once: install observers before run(), not from inside it.
         observer = self._observer
+        telemetry = self._telemetry
         try:
             while heap:
                 event = heap[0]
@@ -204,6 +229,8 @@ class SimulationEngine:
                     observer.event_begin(event)
                     event.callback()
                     observer.event_end(event)
+                if telemetry is not None:
+                    telemetry.record_engine_event(event.time)
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -227,6 +254,8 @@ class SimulationEngine:
                 observer.event_begin(event)
                 event.callback()
                 observer.event_end(event)
+            if self._telemetry is not None:
+                self._telemetry.record_engine_event(event.time)
             return True
         return False
 

@@ -75,6 +75,10 @@ class ReplicatedSummary:
     # (repro.obs.audit.AuditReport entries, in seed order).
     audits: List[object] = field(default_factory=list)
     fingerprints: List[str] = field(default_factory=list)
+    # Per-seed telemetry summaries (telemetry=True), in seed order, plus
+    # their deterministic input-order merge across all seeds.
+    telemetries: List[object] = field(default_factory=list)
+    telemetry: object = None
 
     def __getitem__(self, metric: str) -> MetricSpread:
         return self.metrics[metric]
@@ -91,7 +95,11 @@ class ReplicatedSummary:
 
 
 def run_replications(
-    config: RunConfig, n_seeds: int = 5, jobs: int = 1, audit: bool = False
+    config: RunConfig,
+    n_seeds: int = 5,
+    jobs: int = 1,
+    audit: bool = False,
+    telemetry: bool = False,
 ) -> ReplicatedSummary:
     """Run ``config`` under ``n_seeds`` independent seeds and aggregate.
 
@@ -100,6 +108,9 @@ def run_replications(
     out across worker processes (``0`` means all cores); every seed derives
     its own randomness, so the aggregate is bit-identical to ``jobs=1``.
     A failed replication raises, carrying the worker's traceback.
+
+    ``telemetry=True`` collects a streaming telemetry summary per seed and
+    merges them in seed order into ``ReplicatedSummary.telemetry``.
     """
     # Imported here to break the package cycle (parallel builds on runner).
     from repro.experiments.parallel import CellFailure, run_cells
@@ -108,10 +119,11 @@ def run_replications(
         raise ValueError("need at least one replication")
     seeds = [config.seed + i for i in range(n_seeds)]
     configs = [replace(config, seed=seed) for seed in seeds]
-    outcomes = run_cells(configs, jobs=jobs, audit=audit)
+    outcomes = run_cells(configs, jobs=jobs, audit=audit, telemetry=telemetry)
     summaries: List[RunSummary] = []
     audits: List[object] = []
     fingerprints: List[str] = []
+    telemetries: List[object] = []
     for outcome in outcomes:
         if isinstance(outcome, CellFailure):
             raise RuntimeError(
@@ -121,10 +133,17 @@ def run_replications(
         if audit:
             audits.append(outcome.audit)
             fingerprints.append(outcome.fingerprint)
+        if telemetry:
+            telemetries.append(outcome.telemetry)
     metrics = {
         name: MetricSpread.of([getattr(s, name) for s in summaries])
         for name in _NUMERIC_FIELDS
     }
+    merged_telemetry = None
+    if telemetry:
+        from repro.obs.telemetry import merge_summaries
+
+        merged_telemetry = merge_summaries(telemetries)
     return ReplicatedSummary(
         algorithm=summaries[0].algorithm,
         topology=config.topology,
@@ -133,4 +152,6 @@ def run_replications(
         summaries=summaries,
         audits=audits,
         fingerprints=fingerprints,
+        telemetries=telemetries,
+        telemetry=merged_telemetry,
     )

@@ -79,6 +79,10 @@ class RunResult:
     # with audit=True); the report is an repro.obs.audit.AuditReport.
     audit: Optional[object] = None
     fingerprint: Optional[str] = None
+    # Streaming telemetry digest (run_experiment with telemetry=True);
+    # a repro.obs.telemetry.TelemetrySummary -- windowed load series,
+    # quantile sketches and hotspot heavy hitters, mergeable across cells.
+    telemetry: Optional[object] = None
 
     # ------------------------------------------------------------- metrics
     @property

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.asap.protocol import AsapParams, AsapSearch
 from repro.obs.profile import Profiler
+from repro.obs.telemetry import Telemetry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.network.overlay import Overlay
 from repro.network.substrate import get_substrate
@@ -121,6 +122,7 @@ def run_experiment(
     profile: bool = False,
     collect_diagnostics: bool = False,
     audit: bool = False,
+    telemetry=False,
     progress=None,
 ) -> RunResult:
     """Execute one full trace replay and return its results.
@@ -139,6 +141,12 @@ def run_experiment(
       (:func:`repro.obs.audit.audit_run`) over it, attaching the
       :class:`~repro.obs.audit.AuditReport` and the run fingerprint to
       the result;
+    * ``telemetry`` -- ``True`` (a default-windowed accumulator is
+      created) or a :class:`repro.obs.telemetry.Telemetry` instance; the
+      streaming aggregates (windowed load, quantile sketches, hotspot
+      heavy hitters) are frozen into ``RunResult.telemetry`` as a
+      :class:`~repro.obs.telemetry.TelemetrySummary` -- the constant-
+      memory alternative to full tracing;
     * ``progress`` -- optional ``callable(str)``; receives the rendered
       run profile when profiling is on.
     """
@@ -179,8 +187,18 @@ def run_experiment(
     if tracer.enabled:
         algorithm.set_tracer(tracer)
 
+    tel: Optional[Telemetry] = None
+    if telemetry:
+        tel = telemetry if isinstance(telemetry, Telemetry) else Telemetry()
+        if not tel.enabled:
+            tel = None
+    if tel is not None:
+        algorithm.set_telemetry(tel)
+
     # --- replay ------------------------------------------------------------
     engine = SimulationEngine()
+    if tel is not None:
+        engine.set_telemetry(tel)
     profiler: Optional[Profiler] = None
     if profile or tracer.enabled:
         profiler = Profiler(warmup_s=config.warmup_s, tracer=tracer)
@@ -232,6 +250,8 @@ def run_experiment(
                     "churn", "join", now,
                     node=int(event.node), live=overlay.live_count(),
                 )
+            if tel is not None:
+                tel.record_churn(now, joined=True)
             algorithm.on_join(event.node, now)
         elif isinstance(event, LeaveEvent):
             overlay.leave(event.node)
@@ -241,6 +261,8 @@ def run_experiment(
                     "churn", "leave", now,
                     node=int(event.node), live=overlay.live_count(),
                 )
+            if tel is not None:
+                tel.record_churn(now, joined=False)
             algorithm.on_leave(event.node, now)
         else:  # pragma: no cover - trace types are closed
             raise TypeError(f"unknown trace event {type(event).__name__}")
@@ -280,6 +302,14 @@ def run_experiment(
         profile=run_profile,
         cache_diagnostics=diagnostics,
     )
+    if tel is not None:
+        result.telemetry = tel.summary(
+            ledger=ledger,
+            live_counts=live_counts,
+            t_start=t_start,
+            t_end=t_end,
+            load_categories=algorithm.load_categories,
+        )
     if audit:
         from repro.obs.audit import audit_run
 

@@ -63,6 +63,43 @@ class TestAuditSection:
             assert result.fingerprint == result.audit.fingerprint
 
 
+class TestTelemetrySection:
+    def test_telemetry_section_renders_without_traces(self):
+        from repro.experiments.figures import ExperimentGrid
+
+        scale = ExperimentScale(
+            n_peers=60,
+            n_queries=30,
+            seed=1,
+            use_physical_network=False,
+            algorithms=("flooding", "random_walk", "asap_rw"),
+            topologies=("random",),
+            telemetry=True,
+        )
+        grid = ExperimentGrid(scale)
+        report = build_report(scale, grid=grid)
+        assert "## Telemetry" in report
+        assert "B/node/s" in report  # the Fig-9-style window table
+        assert "hottest peers" in report  # top-K hotspot table
+        assert "Sweep-wide hotspots" in report
+        for result in grid._results.values():
+            assert result.telemetry is not None
+
+    def test_live_callback_streams_during_build(self):
+        lines = []
+        scale = ExperimentScale(
+            n_peers=60,
+            n_queries=30,
+            seed=1,
+            use_physical_network=False,
+            algorithms=("flooding", "random_walk", "asap_rw"),
+            topologies=("random",),
+            telemetry=True,
+        )
+        build_report(scale, live=lines.append)
+        assert lines  # per-cell status reached the sink
+
+
 class TestMain:
     def test_writes_output_file(self, tmp_path, monkeypatch):
         # main() always builds a fresh grid; keep it minuscule by pointing

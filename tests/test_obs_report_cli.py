@@ -70,6 +70,47 @@ def test_analyze_reads_trace_without_sim_stack(audit_out, tmp_path, capsys):
     assert json.loads(capsys.readouterr().out)["queries"] == 12
 
 
+def test_analyze_reads_gzip_trace(audit_out, tmp_path, capsys):
+    import gzip
+
+    gz = tmp_path / "trace.jsonl.gz"
+    with gzip.open(gz, "wt") as fh:
+        fh.write((audit_out / "trace.jsonl").read_text())
+    capsys.readouterr()
+    assert main(["analyze", "--trace", str(gz)]) == 0
+    assert json.loads(capsys.readouterr().out)["queries"] == 12
+
+
+def test_telemetry_writes_artifacts(tmp_path, capsys):
+    out = tmp_path / "tel"
+    code = main(["telemetry", *COMMON, "--seed", "0", "--out", str(out)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "B/node/s" in printed
+    assert "hottest peers" in printed
+    data = json.loads((out / "telemetry.json").read_text())
+    assert data["schema"] == 1
+    assert data["cells"] == 1
+    assert data["totals"]["queries"] == 12
+    prom = (out / "telemetry.prom").read_text()
+    assert "repro_telemetry_events_total" in prom
+    assert 'kind="queries"' in prom
+    # No trace artifact: telemetry is the trace-free path.
+    assert not (out / "trace.jsonl").exists()
+
+
+def test_telemetry_replications_merge(tmp_path):
+    out = tmp_path / "tel-rep"
+    code = main([
+        "telemetry", *COMMON, "--seed", "0",
+        "--replications", "2", "--jobs", "2", "--out", str(out),
+    ])
+    assert code == 0
+    data = json.loads((out / "telemetry.json").read_text())
+    assert data["cells"] == 2
+    assert data["totals"]["queries"] == 24
+
+
 def _write_metrics(path, value):
     path.write_text(json.dumps({
         "metrics": [

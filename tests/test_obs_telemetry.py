@@ -1,0 +1,397 @@
+"""Streaming telemetry: sketches, heavy hitters and the merge contract.
+
+The load-bearing guarantee mirrors the parallel layer's: per-cell
+telemetry summaries merged **in input order** are bit-identical whether
+the cells ran serially or under ``run_cells --jobs N``.  These tests pin
+that (full ``to_json()`` string equality), plus the algebra that makes it
+work: key-wise integer merges that are associative with an empty-merge
+identity, and heavy hitters that stay exact while distinct keys fit
+within capacity.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.parallel import run_cells
+from repro.obs.telemetry import (
+    LogBucketSketch,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    SpaceSaving,
+    TELEMETRY_SCHEMA_VERSION,
+    Telemetry,
+    TelemetrySummary,
+    merge_summaries,
+    quantile_nearest_rank,
+)
+from repro.simulation import run_experiment, run_replications, scaled_config
+
+
+def _tiny(algorithm="asap_rw", seed=0, n_queries=30):
+    return scaled_config(
+        algorithm,
+        "random",
+        n_peers=100,
+        n_queries=n_queries,
+        seed=seed,
+        use_physical_network=False,
+    )
+
+
+# --------------------------------------------------------------------------
+# quantile_nearest_rank (the shared utility that replaced analyze._percentile)
+# --------------------------------------------------------------------------
+class TestQuantileNearestRank:
+    def test_single_value(self):
+        assert quantile_nearest_rank([7.0], 0.5) == 7.0
+
+    def test_median_of_even_count_is_lower_neighbour(self):
+        # Nearest-rank (not interpolated): ceil(0.5 * 4) - 1 = index 1.
+        assert quantile_nearest_rank([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        vals = [1.0, 5.0, 9.0]
+        assert quantile_nearest_rank(vals, 0.0) == 1.0
+        assert quantile_nearest_rank(vals, 1.0) == 9.0
+
+    @given(
+        st.lists(st.floats(0.0, 1e9), min_size=1, max_size=60),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_retired_analyze_percentile(self, values, q):
+        """Identical to the formula analyze.py used before the swap."""
+        ordered = sorted(values)
+        idx = max(0, math.ceil(q * len(ordered)) - 1)  # old _percentile
+        assert quantile_nearest_rank(ordered, q) == float(ordered[idx])
+
+    @given(st.lists(st.floats(0.0, 1e9), min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_result_is_an_input_element(self, values):
+        ordered = sorted(values)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert quantile_nearest_rank(ordered, q) in ordered
+
+
+# --------------------------------------------------------------------------
+# LogBucketSketch
+# --------------------------------------------------------------------------
+class TestLogBucketSketch:
+    def test_empty(self):
+        s = LogBucketSketch()
+        assert s.count == 0
+        assert math.isnan(s.quantile(0.5))
+        assert math.isnan(s.mean)
+
+    def test_exact_stats(self):
+        s = LogBucketSketch()
+        for v in (10.0, 20.0, 30.0):
+            s.add(v)
+        assert s.count == 3
+        assert s.total == 60.0
+        assert s.min == 10.0
+        assert s.max == 30.0
+
+    def test_quantile_relative_error(self):
+        gamma = 1.05
+        s = LogBucketSketch(gamma)
+        values = [float(i) for i in range(1, 2001)]
+        for v in values:
+            s.add(v)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = quantile_nearest_rank(values, q)
+            approx = s.quantile(q)
+            assert abs(approx - exact) <= (gamma - 1.0) * exact + 1e-9
+
+    def test_quantile_clamped_to_observed_range(self):
+        s = LogBucketSketch()
+        s.add(42.0)
+        assert s.quantile(0.0) == 42.0
+        assert s.quantile(1.0) == 42.0
+
+    def test_zero_values_bucketed_exactly(self):
+        s = LogBucketSketch()
+        for _ in range(5):
+            s.add(0.0)
+        s.add(100.0)
+        assert s.count == 6
+        assert s.quantile(0.5) == 0.0
+
+    def test_merge_equals_union(self):
+        a, b, u = LogBucketSketch(), LogBucketSketch(), LogBucketSketch()
+        for i in range(1, 50):
+            a.add(float(i))
+            u.add(float(i))
+        for i in range(40, 90):
+            b.add(float(i))
+            u.add(float(i))
+        a.merge(b)
+        assert a.to_dict() == u.to_dict()
+
+    def test_dict_round_trip(self):
+        s = LogBucketSketch()
+        for v in (0.0, 1.5, 88.0, 1e6):
+            s.add(v)
+        clone = LogBucketSketch.from_dict(s.to_dict())
+        assert clone.to_dict() == s.to_dict()
+        assert clone.quantile(0.5) == s.quantile(0.5)
+
+
+# --------------------------------------------------------------------------
+# SpaceSaving heavy hitters
+# --------------------------------------------------------------------------
+class TestSpaceSaving:
+    def test_exact_below_capacity(self):
+        ss = SpaceSaving(capacity=8)
+        ss.add("a", 5)
+        ss.add("b", 3)
+        ss.add("a", 2)
+        assert ss.top(2) == [("a", 7, 0), ("b", 3, 0)]
+
+    def test_top_ties_break_by_key(self):
+        ss = SpaceSaving(capacity=8)
+        ss.add("z", 4)
+        ss.add("a", 4)
+        assert [k for k, _, _ in ss.top(2)] == ["a", "z"]
+
+    def test_overflow_bounds_memory_and_keeps_heavies(self):
+        ss = SpaceSaving(capacity=4)
+        for i in range(100):
+            ss.add(f"cold{i}", 1)
+        ss.add("hot", 1000)
+        for i in range(100, 200):
+            ss.add(f"cold{i}", 1)
+        assert len(ss.counts) <= 2 * ss.capacity
+        top_keys = [k for k, _, _ in ss.top(1)]
+        assert top_keys == ["hot"]
+
+    def test_merge_exact_regime_matches_union(self):
+        a, b, u = SpaceSaving(16), SpaceSaving(16), SpaceSaving(16)
+        for key, n in (("x", 3), ("y", 7)):
+            a.add(key, n)
+            u.add(key, n)
+        for key, n in (("y", 2), ("z", 5)):
+            b.add(key, n)
+            u.add(key, n)
+        a.merge(b)
+        assert a.state_dict() == u.state_dict()
+
+    def test_state_dict_round_trip(self):
+        ss = SpaceSaving(4)
+        for i in range(30):
+            ss.add(i % 6, i)
+        clone = SpaceSaving.from_state_dict(ss.state_dict())
+        assert clone.state_dict() == ss.state_dict()
+
+
+# --------------------------------------------------------------------------
+# Telemetry accumulator + the disabled path
+# --------------------------------------------------------------------------
+class TestTelemetryAccumulator:
+    def test_null_is_disabled(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert isinstance(NULL_TELEMETRY, NullTelemetry)
+
+    def test_window_s_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Telemetry(window_s=0)
+
+    def test_windowing_by_time(self):
+        t = Telemetry(window_s=10.0)
+        t.record_engine_event(1.0)
+        t.record_engine_event(9.9)
+        t.record_engine_event(10.0)
+        summary = t.summary()
+        assert summary.windows[0]["engine_events"] == 2
+        assert summary.windows[1]["engine_events"] == 1
+
+    def test_summary_freezes_string_keys(self):
+        t = Telemetry()
+        t.record_peer_bytes(0.0, 7, 100.0)
+        t.record_link(0.0, 7, 9, 100.0)
+        summary = t.summary()
+        assert summary.hot_peers.top(1)[0][0] == "7"
+        assert summary.hot_links.top(1)[0][0] == "7->9"
+
+    def test_status_fn_fires_on_interval(self):
+        seen = []
+        t = Telemetry(status_interval_s=10.0, status_fn=seen.append, label="cell")
+        t.record_engine_event(0.0)
+        t.record_engine_event(5.0)  # within interval: no new snapshot
+        t.record_engine_event(11.0)
+        assert len(seen) == 2
+        assert seen[-1]["label"] == "cell"
+        assert seen[-1]["engine_events"] == 3
+
+    def test_status_path_written_atomically(self, tmp_path):
+        path = tmp_path / "cell0.json"
+        t = Telemetry(status_interval_s=10.0, status_path=str(path))
+        t.record_engine_event(0.0)
+        snap = json.loads(path.read_text())
+        assert snap["engine_events"] == 1
+        assert not path.with_suffix(".json.tmp").exists()
+
+
+# --------------------------------------------------------------------------
+# Merge semantics (satellite: associativity, identity, serial == jobs 2)
+# --------------------------------------------------------------------------
+def _synthetic_summary(seed: int) -> TelemetrySummary:
+    """A small summary whose heavy hitters stay within the exact regime."""
+    t = Telemetry(window_s=10.0, label=f"s{seed}")
+    for i in range(20):
+        t.record_engine_event(float(seed + i))
+        t.record_peer_bytes(float(i), (seed * 3 + i) % 10, 100.0 + i)
+        t.record_link(float(i), i % 5, (i + 1) % 5, 50.0 + seed)
+    t.record_churn(2.0, joined=True)
+    t.record_delivery(4.0, seed % 10, 512.0, 4)
+    return t.summary()
+
+
+class TestMergeSemantics:
+    def test_empty_merge_is_identity(self):
+        assert merge_summaries([]) is None
+        assert merge_summaries([None, None]) is None
+        s = _synthetic_summary(0)
+        assert merge_summaries([None, s]) is s
+
+    def test_merge_is_associative_in_exact_regime(self):
+        a, b, c = (_synthetic_summary(i) for i in range(3))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.to_json() == right.to_json()
+
+    def test_merge_is_commutative_on_counters(self):
+        a, b = _synthetic_summary(0), _synthetic_summary(1)
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.totals == ba.totals
+        assert {w: {k: v for k, v in win.items() if isinstance(v, (int, float))}
+                for w, win in ab.windows.items()} == \
+               {w: {k: v for k, v in win.items() if isinstance(v, (int, float))}
+                for w, win in ba.windows.items()}
+
+    def test_merge_sums_window_counters(self):
+        a, b = _synthetic_summary(0), _synthetic_summary(0)
+        merged = a.merge(b)
+        assert merged.totals["engine_events"] == 2 * a.totals["engine_events"]
+        assert merged.windows[0]["engine_events"] == 2 * a.windows[0]["engine_events"]
+        assert merged.cells == 2
+
+    def test_merge_rejects_window_mismatch(self):
+        a = Telemetry(window_s=10.0).summary()
+        b = Telemetry(window_s=5.0).summary()
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_schema_and_fingerprint(self):
+        s = _synthetic_summary(0)
+        d = s.to_dict()
+        assert d["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert s.fingerprint() == _synthetic_summary(0).fingerprint()
+        assert s.fingerprint() != _synthetic_summary(1).fingerprint()
+
+    def test_to_json_is_canonical(self):
+        s = _synthetic_summary(0)
+        assert json.loads(s.to_json()) == json.loads(
+            json.dumps(s.to_dict(), sort_keys=True)
+        )
+
+
+class TestSerialParallelBitEquality:
+    """The acceptance criterion: --jobs 2 aggregates bit-identical to serial."""
+
+    @pytest.fixture(scope="class")
+    def configs(self):
+        return [_tiny(seed=s) for s in (0, 1, 2)]
+
+    def test_per_cell_and_merged_summaries_identical(self, configs):
+        serial = run_cells(configs, jobs=1, telemetry=True)
+        parallel = run_cells(configs, jobs=2, telemetry=True)
+        for s, p in zip(serial, parallel):
+            assert s.telemetry.to_json() == p.telemetry.to_json()
+        merged_s = merge_summaries(r.telemetry for r in serial)
+        merged_p = merge_summaries(r.telemetry for r in parallel)
+        assert merged_s.to_json() == merged_p.to_json()
+        assert merged_s.fingerprint() == merged_p.fingerprint()
+
+    def test_replications_merge_matches_manual_fold(self, configs):
+        rep = run_replications(configs[0], n_seeds=2, jobs=2, telemetry=True)
+        assert rep.telemetry.to_json() == merge_summaries(
+            rep.telemetries
+        ).to_json()
+        assert rep.telemetry.cells == 2
+
+
+# --------------------------------------------------------------------------
+# End-to-end: run_experiment carries a consistent summary
+# --------------------------------------------------------------------------
+class TestRunExperimentTelemetry:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(_tiny(), telemetry=True)
+
+    def test_default_is_off(self):
+        assert run_experiment(_tiny(n_queries=5)).telemetry is None
+
+    def test_summary_attached(self, result):
+        assert isinstance(result.telemetry, TelemetrySummary)
+
+    def test_totals_agree_with_result(self, result):
+        tel = result.telemetry
+        assert tel.totals["queries"] == result.n_queries
+        assert tel.totals["hits"] == sum(
+            1 for o in result.outcomes if o.success
+        )
+        assert tel.totals["messages"] == int(result.ledger.total_messages())
+        assert tel.totals["bytes"] == {
+            cat.value: float(v)
+            for cat, v in result.ledger.category_totals().items()
+        }
+
+    def test_window_load_matches_ledger_series(self, result):
+        # Windows fold the ledger's per-second buckets over the WHOLE run
+        # (warm-up included); the sum must equal the full-run series.
+        tel = result.telemetry
+        series = result.ledger.series(result.load_categories)
+        windowed = sum(w["load_bytes"] for w in tel.windows.values())
+        assert windowed == pytest.approx(float(series.bytes_per_second.sum()))
+
+    def test_response_time_sketch_brackets_exact_extremes(self, result):
+        # Local hits resolve without network traffic, so the sketch only
+        # sees remote successes (the times the paper's Figure 5 averages).
+        times = [
+            o.response_time_ms
+            for o in result.outcomes
+            if o.success and not o.local_hit
+        ]
+        tel = result.telemetry
+        assert tel.response_time_ms.count == len(times)
+        assert tel.response_time_ms.min == pytest.approx(min(times))
+        assert tel.response_time_ms.max == pytest.approx(max(times))
+
+    def test_fig9_metric_available_without_trace(self, result):
+        # The measurement window exists, so the Fig-9 std is a number.
+        assert not math.isnan(result.telemetry.load_std_bpns())
+
+    def test_window_table_renders(self, result):
+        table = result.telemetry.format_window_table(max_rows=6)
+        assert "B/node/s" in table
+        assert len(table.splitlines()) <= 7
+        hotspots = result.telemetry.format_hotspots(3)
+        assert "hottest peers" in hotspots
+
+
+class TestLiveView:
+    def test_serial_live_callback_receives_lines(self):
+        lines = []
+        run_cells(
+            [_tiny(n_queries=10)], jobs=1, live=lines.append
+        )
+        assert lines
+        assert any("asap_rw" in line for line in lines)
+
+    def test_live_implies_telemetry(self):
+        results = run_cells([_tiny(n_queries=10)], jobs=1, live=lambda _m: None)
+        assert results[0].telemetry is not None

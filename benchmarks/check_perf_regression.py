@@ -1,14 +1,13 @@
-"""Perf-regression gate for the telemetry overhead benchmark.
+"""Perf-regression gates for the telemetry and engine benchmarks.
 
-Compares a fresh ``benchmarks/results/telemetry_overhead.json`` (written
-by ``bench_telemetry_overhead.py``) against the committed trajectory in
-``BENCH_TELEMETRY.json`` and fails (exit 1) when the overhead fraction
-regresses.  The gate is expressed entirely in *relative* terms (enabled
-vs disabled wall-clock on the same machine, same process), so it is
+Compares fresh benchmark outputs against the committed trajectories and
+fails (exit 1) on regression.  Every gate is expressed in *relative*
+terms (two arms of the same process on the same machine), so it is
 meaningful across machines of different speeds -- absolute seconds are
 reported but never gated on.
 
-Two checks:
+**Telemetry gate** (always runs) -- fresh
+``benchmarks/results/telemetry_overhead.json`` vs ``BENCH_TELEMETRY.json``:
 
 1. **absolute bar** -- the fresh overhead fraction must stay under
    ``--max-overhead`` (default 0.05, the acceptance budget);
@@ -17,11 +16,27 @@ Two checks:
    ``--tolerance`` (default 0.02 absolute, i.e. two percentage points of
    headroom for machine noise).
 
+**Engine gate** (runs when ``--engine-result`` is given) -- fresh
+``benchmarks/results/engine_dispatch.json`` (written by
+``bench_engine_dispatch.py``) vs ``BENCH_ENGINE.json``:
+
+1. **absolute bars** -- the flooding / ASAP replay speedups
+   (reference arm over batched arm) must clear ``--min-flood-speedup``
+   and ``--min-asap-speedup`` (the acceptance bars are 2.0 and 1.5 at
+   full scale; CI's reduced-scale smoke relaxes them);
+2. **trend bar** -- neither speedup may fall below the committed
+   baseline by more than the multiplicative ``--engine-tolerance``
+   (default 0.25, i.e. a fresh speedup under 75% of the recorded one
+   fails).
+
 Usage (as CI runs it)::
 
     python benchmarks/check_perf_regression.py \
         --result benchmarks/results/telemetry_overhead.json \
-        --baseline BENCH_TELEMETRY.json
+        --baseline BENCH_TELEMETRY.json \
+        --engine-result benchmarks/results/engine_dispatch.json \
+        --engine-baseline BENCH_ENGINE.json \
+        --min-flood-speedup 1.2 --min-asap-speedup 1.1
 """
 
 from __future__ import annotations
@@ -74,6 +89,37 @@ def main(argv=None) -> int:
         help="allowed absolute increase over the baseline overhead "
         "fraction (default 0.02)",
     )
+    parser.add_argument(
+        "--engine-result",
+        type=Path,
+        default=None,
+        help="fresh engine-dispatch benchmark output; enables the engine gate",
+    )
+    parser.add_argument(
+        "--engine-baseline",
+        type=Path,
+        default=Path("BENCH_ENGINE.json"),
+        help="committed engine trajectory file (last entry is the baseline)",
+    )
+    parser.add_argument(
+        "--min-flood-speedup",
+        type=float,
+        default=2.0,
+        help="absolute bar on the flooding-cell replay speedup (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-asap-speedup",
+        type=float,
+        default=1.5,
+        help="absolute bar on the ASAP-cell replay speedup (default 1.5)",
+    )
+    parser.add_argument(
+        "--engine-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed multiplicative drop below the baseline speedups "
+        "(default 0.25, i.e. fresh >= 0.75 * baseline)",
+    )
     args = parser.parse_args(argv)
 
     fresh = _load_result(args.result)
@@ -107,11 +153,57 @@ def main(argv=None) -> int:
                 f"{base_overhead:.2%} + tolerance {args.tolerance:.0%}"
             )
 
+    if args.engine_result is not None:
+        engine = _load_result(args.engine_result)
+        for label, speedup, bar in (
+            ("flooding", engine["flood_speedup"], args.min_flood_speedup),
+            ("ASAP", engine["asap_speedup"], args.min_asap_speedup),
+        ):
+            print(f"engine {label} cell: replay speedup {speedup:.2f}x")
+            if speedup < bar:
+                failures.append(
+                    f"engine {label} speedup {speedup:.2f}x below the "
+                    f"absolute bar {bar:.2f}x"
+                )
+        engine_base = _load_baseline(args.engine_baseline)
+        if engine_base is None:
+            print(
+                f"no baseline in {args.engine_baseline}; "
+                "engine trend check skipped"
+            )
+        elif (
+            engine["flood"]["n_peers"] != engine_base["flood"]["n_peers"]
+            or engine["asap"]["n_peers"] != engine_base["asap"]["n_peers"]
+        ):
+            # Speedups shrink with cell size, so a reduced-scale smoke run
+            # is only held to the absolute bars, never to the full-scale
+            # committed baseline.
+            print(
+                "engine trend check skipped: fresh run scale differs from "
+                "the committed baseline's"
+            )
+        else:
+            print(
+                f"engine baseline ({engine_base.get('recorded_utc', 'undated')}): "
+                f"flooding {engine_base['flood_speedup']:.2f}x, "
+                f"ASAP {engine_base['asap_speedup']:.2f}x"
+            )
+            floor = 1.0 - args.engine_tolerance
+            for label, speedup, base in (
+                ("flooding", engine["flood_speedup"], engine_base["flood_speedup"]),
+                ("ASAP", engine["asap_speedup"], engine_base["asap_speedup"]),
+            ):
+                if speedup < base * floor:
+                    failures.append(
+                        f"engine {label} speedup {speedup:.2f}x regressed "
+                        f"below {floor:.0%} of baseline {base:.2f}x"
+                    )
+
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
         return 1
-    print("OK: telemetry overhead within budget")
+    print("OK: all perf gates within budget")
     return 0
 
 

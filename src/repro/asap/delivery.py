@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import abc
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, Optional, Set
 
 import numpy as np
@@ -39,7 +39,7 @@ from repro.network.overlay import Overlay
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.search.base import MessageSizes
-from repro.search.flooding import flood_reach
+from repro.search.flooding import flood_reach_reference
 from repro.sim import kernels
 from repro.sim.metrics import BandwidthLedger
 
@@ -60,6 +60,12 @@ class DeliveryReport:
     visited: frozenset  # nodes that received the ad (source excluded)
     messages: int
     bytes: float
+    # Sorted array form of ``visited`` when the forwarder already has one
+    # (kernel paths do); purely an accelerator for the batched receiver
+    # merge -- absent on reference paths and excluded from equality.
+    visited_arr: Optional[np.ndarray] = dataclass_field(
+        default=None, compare=False, repr=False
+    )
 
 
 class AdForwarder(abc.ABC):
@@ -144,7 +150,14 @@ class AdForwarder(abc.ABC):
 
 
 class FloodAdForwarder(AdForwarder):
-    """ASAP(FLD): the ad floods with a TTL, reaching almost everyone."""
+    """ASAP(FLD): the ad floods with a TTL, reaching almost everyone.
+
+    ``deliver`` runs on the BFS-only flood kernel (the delivery needs who
+    received the ad and the transmission count, never arrival times);
+    ``deliver_reference`` keeps the full Bellman-Ford flood for the
+    differential tests -- ``first_hop`` is latency-free, so both paths
+    report identical visited sets and message counts.
+    """
 
     kind = "fld"
 
@@ -157,18 +170,50 @@ class FloodAdForwarder(AdForwarder):
     def deliver(
         self, ad: Ad, now: float, budget: Optional[int] = None
     ) -> DeliveryReport:
+        if kernels.REFERENCE_ONLY:
+            return self.deliver_reference(ad, now, budget=budget)
         if not self.overlay.is_live(ad.source):
             return DeliveryReport(visited=frozenset(), messages=0, bytes=0.0)
-        first_hop, _, n_messages = flood_reach(self.overlay, ad.source, self.ttl)
+        first_hop, n_messages = kernels.flood_bfs(
+            self.overlay.walk_csr(), ad.source, self.ttl
+        )
+        visited_arr = np.nonzero(first_hop > 0)[0]
+        # ``tolist`` + C-level frozenset construction; element-for-element
+        # the same set the reference genexpr builds.
+        return self._finish(
+            ad, now, frozenset(visited_arr.tolist()), n_messages,
+            visited_arr=visited_arr,
+        )
+
+    def deliver_reference(
+        self, ad: Ad, now: float, budget: Optional[int] = None
+    ) -> DeliveryReport:
+        """Reference flood delivery (pre-kernel semantics, kept for tests)."""
+        if not self.overlay.is_live(ad.source):
+            return DeliveryReport(visited=frozenset(), messages=0, bytes=0.0)
+        first_hop, _, n_messages = flood_reach_reference(
+            self.overlay, ad.source, self.ttl
+        )
         visited = frozenset(
             int(v) for v in np.nonzero(first_hop > 0)[0]
         )
+        return self._finish(ad, now, visited, n_messages)
+
+    def _finish(
+        self,
+        ad: Ad,
+        now: float,
+        visited: frozenset,
+        n_messages: int,
+        visited_arr: Optional[np.ndarray] = None,
+    ) -> DeliveryReport:
         ad_size = ad.size_bytes(self.sizes)
         total_bytes = float(n_messages * ad_size)
         if n_messages:
             self._record(ad, {int(now): total_bytes}, n_messages)
         report = DeliveryReport(
-            visited=visited, messages=n_messages, bytes=total_bytes
+            visited=visited, messages=n_messages, bytes=total_bytes,
+            visited_arr=visited_arr,
         )
         if self.tracer.enabled:
             self._trace_delivery(ad, now, report)
@@ -230,6 +275,7 @@ class RandomWalkAdForwarder(_WalkForwarderBase):
             visited=frozenset(visited_arr.tolist()),
             messages=n_messages,
             bytes=float(n_messages * ad_size),
+            visited_arr=visited_arr,
         )
         if self.tracer.enabled:
             self._trace_delivery(ad, now, report, budget=self.walkers * per_walker)
@@ -360,6 +406,7 @@ class GsaAdForwarder(_WalkForwarderBase):
             visited=frozenset(visited_ids.tolist()),
             messages=n_messages,
             bytes=float(n_messages * ad_size),
+            visited_arr=visited_ids,
         )
         if self.tracer.enabled:
             self._trace_delivery(ad, now, report, budget=self.walkers * per_walker)

@@ -40,9 +40,10 @@ import numpy as np
 
 from repro.asap.ads import Ad, AdType
 from repro.asap.delivery import AdForwarder, make_forwarder
-from repro.asap.repository import AdsRepository
+from repro.asap.repository import AdsRepository, CacheEntry
 from repro.asap.store import SourceFilterStore
 from repro.search.base import MessageSizes, SearchAlgorithm, SearchOutcome
+from repro.sim import kernels
 from repro.sim.engine import PeriodicTimer, SimulationEngine
 from repro.sim.metrics import ASAP_LOAD_CATEGORIES, TrafficCategory
 from repro.bloom.compressed import compressed_filter_size
@@ -143,6 +144,25 @@ class AsapSearch(SearchAlgorithm):
         self._engine: Optional[SimulationEngine] = None
         self._timers: Dict[int, PeriodicTimer] = {}
         self._advertised: Set[int] = set()  # sources that ever sent a full ad
+        # Interest-mask caches for the batched dissemination path.  Node
+        # interests are fixed at construction, so a boolean membership
+        # column per topic -- and its OR over an ad's topic set -- can be
+        # built once and reused for every delivery of that topic set.
+        self._topic_members: Dict[int, np.ndarray] = {}
+        self._interest_masks: Dict[frozenset, np.ndarray] = {}
+        self._interest_sets: Dict[frozenset, frozenset] = {}
+        # compressed_filter_size is a pure function of (set bits, m) and m
+        # is fixed per run; the ads-reply loop hits a handful of distinct
+        # set-bit counts thousands of times.
+        self._filter_size_memo: Dict[int, float] = {}
+        # Ads-reply size per (source, version): the filter's set-bit count
+        # only changes when the source's version bumps, so the pair keys
+        # the full n_set_bits -> compressed-size derivation.
+        self._reply_size_memo: Dict[Tuple[int, int], float] = {}
+        # Every repo shares the run-level cache capacity; ``None`` (the
+        # default -- the paper's caches are unbounded) unlocks the
+        # eviction-free fast path in the batched receiver merge.
+        self._no_capacity = self.params.cache_capacity is None
 
     def set_tracer(self, tracer) -> None:
         """Attach a tracer to the protocol and its ad forwarder."""
@@ -155,6 +175,36 @@ class AsapSearch(SearchAlgorithm):
         self.forwarder.telemetry = telemetry
 
     # ------------------------------------------------------------- delivery
+    def _topic_mask(self, topic: int) -> np.ndarray:
+        mask = self._topic_members.get(topic)
+        if mask is None:
+            mask = np.fromiter(
+                (topic in s for s in self.interests),
+                np.bool_,
+                len(self.interests),
+            )
+            self._topic_members[topic] = mask
+        return mask
+
+    def _interest_mask(self, topics: frozenset) -> np.ndarray:
+        """Boolean per-node mask of ``interested_in(topics)`` answers."""
+        mask = self._interest_masks.get(topics)
+        if mask is None:
+            mask = np.zeros(len(self.interests), dtype=bool)
+            for topic in topics:
+                mask |= self._topic_mask(topic)
+            self._interest_masks[topics] = mask
+        return mask
+
+    def _interest_set(self, topics: frozenset) -> frozenset:
+        """The node ids behind :meth:`_interest_mask`, as a frozenset."""
+        nodes = self._interest_sets.get(topics)
+        if nodes is None:
+            mask = self._interest_mask(topics)
+            nodes = frozenset(np.nonzero(mask)[0].tolist())
+            self._interest_sets[topics] = nodes
+        return nodes
+
     def _disseminate(
         self, ad: Ad, now: float, budget: Optional[int] = None
     ) -> None:
@@ -165,6 +215,155 @@ class AsapSearch(SearchAlgorithm):
         from the source -- the unicast anti-entropy that keeps caches exact
         and contributes the steady trickle of full-ad bytes in Figure 7's
         breakdown.
+
+        The receiver merge runs array-at-a-time over the pooled repository
+        state: the store version, source liveness and per-node interest
+        answers are identical for every receiver of one delivery, so they
+        are computed once and the per-receiver work collapses to the
+        version-merge branch of :meth:`AdsRepository.accept` inlined with
+        those invariants hoisted.  ``_disseminate_reference`` keeps the
+        one-``accept``-per-receiver loop as the differential oracle
+        (:func:`repro.sim.kernels.reference_mode` routes here to it).
+        """
+        if kernels.REFERENCE_ONLY:
+            self._disseminate_reference(ad, now, budget=budget)
+            return
+        report = self.forwarder.deliver(ad, now, budget=budget)
+        src = ad.source
+        repos = self.repos
+        cachers_src = self.cachers[src]
+        ad_version = ad.version
+        ad_topics = ad.topics
+        # Invariant across the receiver loop: repairs read the store but
+        # nothing below writes it, and churn never interleaves mid-event.
+        behind_after = ad_version < self.store.version(src)
+        live_src = self.overlay.is_live(src)
+        repair_plan = None
+        if ad.ad_type is AdType.FULL:
+            interested = self._interest_mask(ad_topics)
+            if not behind_after and self._no_capacity and report.visited:
+                # Eviction-free, repair-free fast path (fresh full ad, the
+                # overwhelmingly common delivery): the only receivers that
+                # change state are the interested nodes plus existing
+                # holders (holders are always members of ``cachers[src]``
+                # -- every entry store/remove updates it).  Per-receiver
+                # effects are value-identical and order-independent, so the
+                # loop runs over the vectorised interest gather instead of
+                # the whole visited set.
+                varr = report.visited_arr
+                if varr is None:
+                    varr = np.fromiter(
+                        report.visited, np.int64, len(report.visited)
+                    )
+                uninterested_holders = cachers_src.difference(
+                    self._interest_set(ad_topics)
+                )
+                sel = varr[interested[varr]]
+                # Walk-based deliveries can revisit the source; drop it
+                # here so the loop below needs no per-node guard (sources
+                # never cache themselves).
+                receivers = sel[sel != src].tolist()
+                if uninterested_holders:
+                    visited_fs = report.visited
+                    receivers += [
+                        node
+                        for node in uninterested_holders
+                        if node in visited_fs
+                    ]
+                for node in receivers:
+                    repo = repos[node]
+                    entry = repo.entries.get(src)
+                    if entry is None:
+                        repo.entries[src] = CacheEntry(
+                            source=src,
+                            version=ad_version,
+                            topics=ad_topics,
+                            cached_at=now,
+                        )
+                    else:
+                        # Replacing the entry's fields in place is
+                        # value-identical to storing a fresh CacheEntry.
+                        entry.version = ad_version
+                        entry.topics = ad_topics
+                        entry.cached_at = now
+                    if repo.behind:
+                        repo.behind.discard(src)
+                cachers_src.update(receivers)
+            else:
+                for node in report.visited:
+                    if node == src:
+                        continue
+                    repo = repos[node]
+                    if src not in repo.entries and not interested[node]:
+                        continue
+                    repo.entries[src] = CacheEntry(
+                        source=src,
+                        version=ad_version,
+                        topics=ad_topics,
+                        cached_at=now,
+                    )
+                    if behind_after:
+                        repo.behind.add(src)
+                    else:
+                        repo.behind.discard(src)
+                    cachers_src.add(node)
+                    if repo.capacity is not None:
+                        for evicted_source in repo._evict(protect=src):
+                            self.cachers[evicted_source].discard(node)
+                    if behind_after and live_src:
+                        if repair_plan is None:
+                            repair_plan = self._repair_plan(src)
+                        self._repair_entry(node, src, now, plan=repair_plan)
+        else:
+            is_patch = ad.ad_type is AdType.PATCH
+            for node in report.visited:
+                if node not in cachers_src:
+                    # Only holders react to patches/refreshes, and every
+                    # holder is a member of ``cachers[src]`` -- one set
+                    # probe replaces the repo/entry lookup for the (large)
+                    # uninterested majority of the flood's receivers.
+                    continue
+                repo = repos[node]
+                entry = repo.entries.get(src)
+                if entry is None:
+                    # No base entry: patches and refreshes are no-ops (and
+                    # the source never caches itself).
+                    continue
+                if is_patch:
+                    if ad_version == entry.version + 1:
+                        entry.version = ad_version
+                        entry.topics = ad_topics
+                        entry.cached_at = now
+                        if behind_after:
+                            repo.behind.add(src)
+                        else:
+                            repo.behind.discard(src)
+                    elif ad_version > entry.version:
+                        repo.behind.add(src)
+                        entry.cached_at = now
+                else:  # REFRESH: renew recency, detect missed patches
+                    entry.cached_at = now
+                    if ad_version > entry.version:
+                        repo.behind.add(src)
+                cachers_src.add(node)
+                if live_src and src in repo.behind:
+                    if repair_plan is None:
+                        repair_plan = self._repair_plan(src)
+                    self._repair_entry(node, src, now, plan=repair_plan)
+        if ad.ad_type is AdType.PATCH:
+            # Cachers the delivery missed now lag the source's filter.
+            for node in cachers_src - set(report.visited):
+                repos[node].mark_behind(src)
+
+    def _disseminate_reference(
+        self, ad: Ad, now: float, budget: Optional[int] = None
+    ) -> None:
+        """Reference dissemination: one ``repo.accept`` per receiver.
+
+        The pre-batching implementation, retained as the differential
+        oracle for :meth:`_disseminate` (bit-identical cache, cachers,
+        behind-set and ledger state by construction -- the batched loop is
+        ``accept`` inlined with delivery-invariant lookups hoisted).
         """
         report = self.forwarder.deliver(ad, now, budget=budget)
         for node in report.visited:
@@ -181,13 +380,44 @@ class AsapSearch(SearchAlgorithm):
             for node in self.cachers[ad.source] - set(report.visited):
                 self.repos[node].mark_behind(ad.source)
 
-    def _repair_entry(self, node: int, source: int, now: float) -> None:
+    def _repair_plan(self, source: int) -> Dict[str, object]:
+        """Hoist the per-source half of :meth:`_repair_entry`.
+
+        Everything here reads only store state, which is constant across
+        one delivery's receiver loop -- so one plan serves every repair
+        pull that a single dissemination triggers.
+        """
+        full = self.store.make_full_ad(source)
+        if full is None:
+            return {"full": None}
+        return {
+            "full": full,
+            "full_reply": full.size_bytes(self.sizes),
+            "history": [
+                (version, len(changed))
+                for version, changed in self.store.patch_history(source)
+            ],
+            "version": self.store.version(source),
+            "topics": self.store.topics(source),
+        }
+
+    def _repair_entry(
+        self,
+        node: int,
+        source: int,
+        now: float,
+        plan: Optional[Dict[str, object]] = None,
+    ) -> None:
         """Heal a version gap by pulling the missed patches from the source.
 
         The reply carries the changed-bit lists of every patch the cache
         missed (2 bytes per bit, as on any patch ad); when the cache is so
         far behind that a fresh full ad is smaller, the source sends that
         instead.  Either way the entry ends at the current version.
+
+        ``plan`` optionally carries the per-source invariants precomputed
+        by :meth:`_repair_plan`; omitted, they are derived here exactly as
+        the batched caller would have.
         """
         repo = self.repos[node]
         entry = repo.entry(source)
@@ -198,7 +428,9 @@ class AsapSearch(SearchAlgorithm):
             now, TrafficCategory.ADS_REQUEST, self.sizes.ads_request, messages=1
         )
         lat = self.overlay.direct_latency_ms(node, source)
-        full = self.store.make_full_ad(source)
+        if plan is None:
+            plan = self._repair_plan(source)
+        full = plan["full"]
         if full is None:
             # Source shares nothing any more: the stale entry is worthless.
             repo.remove(source)
@@ -212,12 +444,12 @@ class AsapSearch(SearchAlgorithm):
                 )
             return
         missed_bits = sum(
-            len(changed)
-            for version, changed in self.store.patch_history(source)
+            n_bits
+            for version, n_bits in plan["history"]
             if version > entry.version
         )
         patch_reply = self.sizes.ad_header + 2 * missed_bits
-        full_reply = full.size_bytes(self.sizes)
+        full_reply = plan["full_reply"]
         if patch_reply <= full_reply:
             category, reply_bytes = TrafficCategory.PATCH_AD, patch_reply
         else:
@@ -241,7 +473,7 @@ class AsapSearch(SearchAlgorithm):
                 reply_category=category.value,
             )
         stored, evicted = repo.accept_snapshot(
-            source, self.store.version(source), self.store.topics(source), now
+            source, plan["version"], plan["topics"], now
         )
         if stored:
             self.cachers[source].add(node)
@@ -406,6 +638,154 @@ class AsapSearch(SearchAlgorithm):
         availability is the supplying neighbour's reply RTT.  ``exclude``
         lists sources the requester just disproved by confirmation -- they
         travel in the request digest, so neighbours do not send them back.
+
+        The per-neighbour merge loop is the batched implementation:
+        :meth:`AdsRepository.accept_snapshot` and ``interested_in`` are
+        inlined with the requester-side invariants (interest set, entry
+        dict, store handles) hoisted, and the compressed-filter reply size
+        is memoized per set-bit count.  ``_ads_request_reference`` keeps
+        the method-call-per-ad loop as the differential oracle.
+        """
+        if kernels.REFERENCE_ONLY:
+            return self._ads_request_reference(
+                node, now, exclude=exclude, positions=positions
+            )
+        exclude = exclude or set()
+        repo = self.repos[node]
+        repos = self.repos
+        repo_entries = repo.entries
+        repo_interests = repo.interests
+        repo_behind = repo.behind
+        repo_capacity = repo.capacity
+        store = self.store
+        store_version = store._version
+        cachers = self.cachers
+        ad_header = self.sizes.ad_header
+        filter_bits = store.hasher.m
+        size_memo = self._filter_size_memo
+        reply_size_memo = self._reply_size_memo
+        ledger = self.ledger
+        telemetry = self.telemetry if self.telemetry.enabled else None
+        neighbors = self._neighbors_within_h(node)
+        new_sources: Dict[int, float] = {}
+        n_messages = 0
+        total_bytes = 0.0
+        request_total = 0.0
+        request_size = self.sizes.ads_request + int(
+            math.ceil(len(repo) * self.params.digest_bytes_per_entry)
+        )
+        current_match = (
+            store.match_current(positions) if positions is not None else None
+        )
+        for nbr, one_way in neighbors:
+            n_messages += 1
+            total_bytes += request_size
+            request_total += request_size
+            ledger.record(
+                now, TrafficCategory.ADS_REQUEST, request_size, messages=1
+            )
+            nbr_entries = repos[nbr].entries
+            if positions is None:
+                offered = nbr_entries.keys() - repo_entries.keys()
+            else:
+                offered = set(repos[nbr].lookup(positions, current_match))
+                offered -= repo_entries.keys()
+            if exclude:
+                offered -= exclude
+            offered.discard(node)
+            novel = sorted(offered)
+            reply_bytes = float(ad_header)  # reply envelope
+            rtt = 2.0 * one_way
+            for s in novel:
+                entry = nbr_entries[s]
+                topics = entry.topics
+                if repo_interests.isdisjoint(topics):
+                    continue
+                # accept_snapshot, inlined: ``s != node`` and interest
+                # already hold, and ``s`` is novel so there is no stale
+                # same-version entry to renew unless a previous neighbour
+                # in this very loop stored one.
+                version = entry.version
+                mine = repo_entries.get(s)
+                if mine is not None and mine.version >= version:
+                    mine.cached_at = now
+                    stored = False
+                    evicted: List[int] = []
+                else:
+                    repo_entries[s] = CacheEntry(
+                        source=s, version=version, topics=topics, cached_at=now
+                    )
+                    if version < store_version[s]:
+                        repo_behind.add(s)
+                    else:
+                        repo_behind.discard(s)
+                    stored = True
+                    evicted = (
+                        repo._evict(protect=s)
+                        if repo_capacity is not None
+                        else []
+                    )
+                # The reply carries the source's *current* filter; its
+                # set-bit count -- and therefore the compressed size -- can
+                # only change when the source's version bumps, so (s,
+                # version) keys the whole derivation.
+                size_key = (s, int(store_version[s]))
+                size = reply_size_memo.get(size_key)
+                if size is None:
+                    n_set = store.n_set_bits(s)
+                    size = size_memo.get(n_set)
+                    if size is None:
+                        size = compressed_filter_size(n_set, filter_bits)
+                        size_memo[n_set] = size
+                    reply_size_memo[size_key] = size
+                reply_bytes += ad_header + size
+                if stored:
+                    cachers[s].add(node)
+                    for ev in evicted:
+                        cachers[ev].discard(node)
+                    if s not in new_sources or rtt < new_sources[s]:
+                        new_sources[s] = rtt
+            n_messages += 1
+            total_bytes += reply_bytes
+            ledger.record(
+                now + rtt / 1000.0,
+                TrafficCategory.ADS_REPLY,
+                reply_bytes,
+                messages=1,
+            )
+            if telemetry is not None:
+                # The serving neighbour pays for the reply it assembled.
+                telemetry.record_ads_request(
+                    now, int(nbr), request_size + reply_bytes
+                )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "ad",
+                "ads_request",
+                now,
+                node=int(node),
+                scope="query" if positions is not None else "bootstrap",
+                neighbors=len(neighbors),
+                new_sources=len(new_sources),
+                messages=n_messages,
+                cost_bytes=total_bytes,
+                request_bytes=request_total,
+                reply_bytes=total_bytes - request_total,
+            )
+        return new_sources, n_messages, total_bytes
+
+    def _ads_request_reference(
+        self,
+        node: int,
+        now: float,
+        exclude: Optional[Set[int]] = None,
+        positions: Optional[np.ndarray] = None,
+    ) -> Tuple[Dict[int, float], int, float]:
+        """Reference ads request: one ``accept_snapshot`` call per ad.
+
+        The pre-batching implementation, retained as the differential
+        oracle for :meth:`_ads_request` (same contract, bit-identical
+        repository/ledger state and return value).
         """
         exclude = exclude or set()
         repo = self.repos[node]
@@ -529,13 +909,32 @@ class AsapSearch(SearchAlgorithm):
             nonlocal n_messages, total_bytes
             traced = self.tracer.enabled
             telemetry = self.telemetry
-            order = sorted(
-                (s for s in cands if s not in tried),
-                key=lambda s: self.overlay.direct_latency_ms(requester, s),
-            )
-            for s in order[: self.params.max_confirmations]:
+            cap = self.params.max_confirmations
+            pending = [s for s in cands if s not in tried]
+            if kernels.REFERENCE_ONLY or not pending:
+                # Reference nearest-first ordering: per-pair latency calls
+                # under a stable sort.
+                order = sorted(
+                    pending,
+                    key=lambda s: self.overlay.direct_latency_ms(requester, s),
+                )[:cap]
+                ordered = [
+                    (s, self.overlay.direct_latency_ms(requester, s))
+                    for s in order
+                ]
+            else:
+                # Batched ordering: gather all candidate latencies in one
+                # vectorized call and stable-argsort.  pairwise latencies
+                # are bit-equal to per-pair ones and both sorts are
+                # stable over the same iteration order, so the selection
+                # and its order match the reference exactly.
+                lats = self.overlay.direct_latencies_ms(
+                    requester, np.asarray(pending, dtype=np.int64)
+                )
+                idx = np.argsort(lats, kind="stable")[:cap]
+                ordered = [(pending[i], float(lats[i])) for i in idx]
+            for s, lat in ordered:
                 tried.add(s)
-                lat = self.overlay.direct_latency_ms(requester, s)
                 n_messages += 1
                 total_bytes += self.sizes.confirmation_request
                 self.ledger.record(

@@ -110,6 +110,7 @@ class Overlay:
         self._live_degree_cache: Optional[Tuple[int, np.ndarray]] = None
         self._live_csr_cache: Optional[Tuple[int, Tuple[np.ndarray, ...]]] = None
         self._walk_csr_cache: Optional[Tuple[int, WalkCsr]] = None
+        self._full_sorted_cache: Optional[Tuple[np.ndarray, ...]] = None
 
     # ------------------------------------------------------------- liveness
     @property
@@ -207,17 +208,52 @@ class Overlay:
         cached = self._live_csr_cache
         if cached is not None and cached[0] == self.epoch:
             return cached[1]  # type: ignore[return-value]
-        src, dst, lat = self.live_edges()
-        order = np.argsort(src, kind="stable")
-        sorted_src = src[order]
-        indices = dst[order]
-        lats = lat[order]
-        counts = np.bincount(sorted_src, minlength=self._n)
+        # Mask the once-sorted full-graph edge arrays instead of re-sorting
+        # per epoch: a stable sort of a subsequence equals the subsequence
+        # of the stable sort, so each node's live neighbour order -- which
+        # the walk kernels' seeded trajectories depend on -- is bit-for-bit
+        # what sorting the live edges directly would produce.
+        src_s, dst_s, lat_s = self._full_sorted_edges()
+        if len(src_s):
+            alive = self._live[src_s] & self._live[dst_s]
+            indices = dst_s[alive]
+            lats = lat_s[alive]
+            counts = np.bincount(src_s[alive], minlength=self._n)
+        else:
+            indices = src_s
+            lats = lat_s
+            counts = np.zeros(self._n, dtype=np.int64)
         indptr = np.zeros(self._n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         result = (indptr, indices, lats)
         self._live_csr_cache = (self.epoch, result)
         return result
+
+    def _full_sorted_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Directed full-graph ``(src, dst, lat)`` stably sorted by src.
+
+        Built once per overlay (liveness masking per epoch happens in
+        :meth:`live_csr`); matches the concatenation order of
+        :meth:`live_edges` so masked rows keep the historical neighbour
+        order.
+        """
+        cached = self._full_sorted_cache
+        if cached is None:
+            edges = self.topology.edges
+            if len(edges):
+                src = np.concatenate([edges[:, 0], edges[:, 1]])
+                dst = np.concatenate([edges[:, 1], edges[:, 0]])
+                lat = np.concatenate([self._edge_lat_ms, self._edge_lat_ms])
+                order = np.argsort(src, kind="stable")
+                cached = (src[order], dst[order], lat[order])
+            else:
+                cached = (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64),
+                )
+            self._full_sorted_cache = cached
+        return cached
 
     def walk_csr(self) -> WalkCsr:
         """The live CSR prepared for the walk kernels, cached per epoch.

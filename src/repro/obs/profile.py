@@ -79,6 +79,7 @@ class RunProfile:
     engine_events: int = 0
     engine_pending_live: int = 0
     sim_end_s: float = 0.0
+    scheduler: str = "heap"
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -87,6 +88,7 @@ class RunProfile:
             "engine_events": self.engine_events,
             "engine_pending_live": self.engine_pending_live,
             "sim_end_s": self.sim_end_s,
+            "scheduler": self.scheduler,
             "subsystems": {k: v.to_dict() for k, v in sorted(self.subsystems.items())},
             "phases": {k: v.to_dict() for k, v in sorted(self.phases.items())},
         }
@@ -99,7 +101,8 @@ class RunProfile:
         )
         lines.append(
             f"  engine: {self.engine_events} processed, "
-            f"{self.engine_pending_live} live pending at finish"
+            f"{self.engine_pending_live} live pending at finish "
+            f"({self.scheduler} scheduler)"
         )
         for title, buckets in (("phase", self.phases), ("subsystem", self.subsystems)):
             if not buckets:
@@ -127,7 +130,13 @@ def merge_profiles(profiles: Iterable[RunProfile]) -> RunProfile:
     work, not elapsed time); the simulated end time is the maximum.
     """
     merged = RunProfile()
+    first = True
     for profile in profiles:
+        if first:
+            merged.scheduler = profile.scheduler
+            first = False
+        elif merged.scheduler != profile.scheduler:
+            merged.scheduler = "mixed"
         merged.events += profile.events
         merged.wall_s += profile.wall_s
         merged.engine_events += profile.engine_events
@@ -218,4 +227,5 @@ class Profiler:
             profile.engine_events = engine.events_processed
             profile.engine_pending_live = engine.pending_live
             profile.sim_end_s = engine.now
+            profile.scheduler = getattr(engine, "scheduler", "heap")
         return profile

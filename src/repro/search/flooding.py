@@ -29,9 +29,10 @@ import numpy as np
 
 from repro.network.overlay import Overlay
 from repro.search.base import SearchAlgorithm, SearchOutcome
+from repro.sim import kernels
 from repro.sim.metrics import TrafficCategory
 
-__all__ = ["FloodingSearch", "flood_reach"]
+__all__ = ["FloodingSearch", "flood_reach", "flood_reach_reference"]
 
 
 def flood_reach(
@@ -46,6 +47,29 @@ def flood_reach(
     * ``arrival_ms[v]`` -- earliest arrival time of the query at v over
       paths of at most ``ttl`` hops (inf if unreached);
     * ``n_messages`` -- total query transmissions of the flood.
+
+    Runs on the frontier-restricted kernel
+    (:func:`repro.sim.kernels.flood_frontier`) over the shared per-epoch
+    :class:`~repro.sim.kernels.WalkCsr`; ``flood_reach_reference`` retains
+    the full-edge-array Bellman-Ford for the differential tests, which is
+    also what :func:`repro.sim.kernels.reference_mode` routes to.
+    """
+    if ttl < 1:
+        raise ValueError("ttl must be >= 1")
+    if not overlay.is_live(source):
+        raise ValueError(f"flood source {source} is offline")
+    if kernels.REFERENCE_ONLY:
+        return flood_reach_reference(overlay, source, ttl)
+    return kernels.flood_frontier(overlay.walk_csr(), source, ttl)
+
+
+def flood_reach_reference(
+    overlay: Overlay, source: int, ttl: int
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Reference flood: TTL rounds of ``np.minimum.at`` over all live edges.
+
+    The pre-kernel implementation, retained as the differential oracle for
+    :func:`flood_reach` (same contract, bit-identical outputs).
     """
     if ttl < 1:
         raise ValueError("ttl must be >= 1")
@@ -74,6 +98,15 @@ def flood_reach(
     return first_hop, arrival, n_messages
 
 
+def _reached_hits(matching: set, first_hop: np.ndarray) -> np.ndarray:
+    """Matching nodes the flood reached, as a sorted index array."""
+    if not matching:
+        return np.empty(0, dtype=np.int64)
+    marr = np.fromiter(matching, np.int64, len(matching))
+    marr.sort()
+    return marr[first_hop[marr] >= 0]
+
+
 class FloodingSearch(SearchAlgorithm):
     """Flooding with the paper's TTL of 6."""
 
@@ -88,6 +121,8 @@ class FloodingSearch(SearchAlgorithm):
     def _search_impl(
         self, requester: int, terms: Sequence[str], now: float
     ) -> SearchOutcome:
+        if kernels.REFERENCE_ONLY:
+            return self._search_reference(requester, terms, now)
         if self._local_hit(requester, terms):
             return self._local_outcome()
 
@@ -104,17 +139,17 @@ class FloodingSearch(SearchAlgorithm):
             # The requester fans the query out; charge the flood to it.
             telemetry.record_peer_bytes(now, requester, query_bytes)
 
-        hits = [
-            v
-            for v in self._matching_live_nodes(terms, exclude=requester)
-            if first_hop[v] >= 0
-        ]
-        if not hits:
+        matching = self._matching_live_nodes(terms, exclude=requester)
+        hits = _reached_hits(matching, first_hop)
+        if not len(hits):
             return self._failure(n_query_msgs, query_bytes)
 
         # Responses travel the reverse path: hop(v) transmissions each, and
         # the response reaches the requester after another arrival[v].
-        response_msgs = int(sum(first_hop[v] for v in hits))
+        # Integer sum and float min are order-independent, so the gathered
+        # forms match the reference per-hit loop bit for bit.
+        hit_hops = first_hop[hits]
+        response_msgs = int(hit_hops.sum())
         response_bytes = response_msgs * self.sizes.query_response
         self.ledger.record(
             now,
@@ -124,6 +159,62 @@ class FloodingSearch(SearchAlgorithm):
         )
         if telemetry.enabled:
             # Each responder sends hop(v) reverse-path transmissions.
+            for v, h in zip(hits.tolist(), hit_hops.tolist()):
+                telemetry.record_peer_bytes(
+                    now, v, h * self.sizes.query_response
+                )
+        response_time = 2.0 * float(arrival[hits].min())
+        return SearchOutcome(
+            success=True,
+            response_time_ms=response_time,
+            messages=n_query_msgs + response_msgs,
+            cost_bytes=query_bytes + response_bytes,
+            results=len(hits),
+        )
+
+    def _search_reference(
+        self, requester: int, terms: Sequence[str], now: float
+    ) -> SearchOutcome:
+        """The pre-kernel search body: reference flood + per-hit loops.
+
+        Kept verbatim as the whole-method differential oracle (and the
+        A/B benchmark's baseline arm): same outcome, ledger rows and
+        telemetry bit for bit -- the batched path's gathered integer sum
+        and float min are order-independent, and each per-hit quantity is
+        the same IEEE value.
+        """
+        if self._local_hit(requester, terms):
+            return self._local_outcome()
+
+        first_hop, arrival, n_query_msgs = flood_reach_reference(
+            self.overlay, requester, self.ttl
+        )
+        query_bytes = n_query_msgs * self.sizes.query
+        self.ledger.record(
+            now, TrafficCategory.QUERY, query_bytes, messages=n_query_msgs
+        )
+
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.record_peer_bytes(now, requester, query_bytes)
+
+        hits = [
+            v
+            for v in self._matching_live_nodes(terms, exclude=requester)
+            if first_hop[v] >= 0
+        ]
+        if not hits:
+            return self._failure(n_query_msgs, query_bytes)
+
+        response_msgs = int(sum(first_hop[v] for v in hits))
+        response_bytes = response_msgs * self.sizes.query_response
+        self.ledger.record(
+            now,
+            TrafficCategory.QUERY_RESPONSE,
+            response_bytes,
+            messages=response_msgs,
+        )
+        if telemetry.enabled:
             for v in hits:
                 telemetry.record_peer_bytes(
                     now, int(v), int(first_hop[v]) * self.sizes.query_response

@@ -11,11 +11,30 @@ Design notes
 ------------
 * Events are plain callables.  There is no coroutine machinery; handlers that
   need to continue later simply schedule a follow-up event.  This keeps the
-  kernel ~100 lines, trivially testable, and fast (no generator overhead).
-* Cancellation is lazy: a cancelled :class:`Event` stays in the heap but is
+  kernel small, trivially testable, and fast (no generator overhead).
+* Cancellation is lazy: a cancelled :class:`Event` stays in the queue but is
   skipped when popped.  This is the standard O(1)-cancel heap idiom.
 * The clock is a float in **seconds** (the paper's load series is per-second;
   latencies are milliseconds and converted at the boundary).
+* **Cohort dispatch**: the run loop pops *all* events sharing the current
+  minimum timestamp in one step.  Cohorts of size one (the overwhelmingly
+  common case -- trace times are continuous floats) take a fast path that
+  never allocates a list; larger cohorts whose members all carry the same
+  ``batch_key`` are handed to a registered batch handler in one call (see
+  :meth:`SimulationEngine.register_batch_handler`).  Dispatch order is
+  ``(time, seq)`` either way, so cohort dispatch is observably identical to
+  one-at-a-time dispatch -- including lazy cancellation: a cohort member
+  cancelled by an *earlier* member's callback is skipped without counting
+  as processed and without observer hooks, exactly as the serial loop
+  would have skipped it when popped.
+* **Calendar queue** (opt-in via ``scheduler="calendar"``): a two-level
+  structure -- one small heap per one-second bucket plus a heap of bucket
+  keys -- behind the same interface.  Bucket time ranges are disjoint and
+  ordered, so the head of the lowest non-empty bucket is the global
+  ``(time, seq)`` minimum and the dispatch order is bit-identical to the
+  binary heap's.  It wins when the queue is deep (pushes land in small
+  per-bucket heaps instead of one log-N-deep heap); see
+  docs/PERFORMANCE.md, "Engine batching".
 """
 
 from __future__ import annotations
@@ -24,9 +43,12 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["Event", "PeriodicTimer", "SimulationEngine", "SimulationError"]
+
+#: Accepted ``SimulationEngine(scheduler=...)`` values.
+SCHEDULERS = ("heap", "calendar")
 
 
 class SimulationError(RuntimeError):
@@ -39,7 +61,10 @@ class Event:
 
     Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
     tie-breaker so two events at the same timestamp fire in the order they
-    were scheduled.
+    were scheduled.  ``batch_key`` marks the event as batchable: when a
+    same-timestamp cohort is homogeneous in a registered ``batch_key``, the
+    engine hands the whole cohort to that batch handler instead of calling
+    each ``callback`` (the callback remains the per-event fallback).
     """
 
     time: float
@@ -47,8 +72,10 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    batch_key: Optional[str] = field(default=None, compare=False)
     # Set by the engine so lazy cancellation can keep its live-event count
-    # exact without scanning the heap; cleared once the event is dispatched.
+    # exact without scanning the queue; cleared once the event is popped
+    # for dispatch (a cancel after that point must not touch the counter).
     _on_cancel: Optional[Callable[[], None]] = field(
         default=None, compare=False, repr=False
     )
@@ -62,20 +89,40 @@ class Event:
 
 
 class SimulationEngine:
-    """Heap-based discrete-event scheduler with a float clock in seconds."""
+    """Discrete-event scheduler with a float clock in seconds.
 
-    def __init__(self) -> None:
+    ``scheduler`` selects the priority-queue implementation: ``"heap"``
+    (binary heap, the default) or ``"calendar"`` (two-level calendar
+    queue).  Both dispatch in identical ``(time, seq)`` order.
+    """
+
+    def __init__(self, scheduler: str = "heap") -> None:
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
+            )
+        self._scheduler = scheduler
         self._heap: list[Event] = []
+        # Calendar-queue state: one-second buckets (each a small heap of
+        # events) plus a heap of bucket keys.  A key enters ``_cal_keys``
+        # exactly when its bucket is created and leaves when the bucket is
+        # found empty at peek time, so the keys heap never holds
+        # duplicates.
+        self._cal: Dict[int, List[Event]] = {}
+        self._cal_keys: List[int] = []
+        self._cal_count = 0
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._processed = 0
-        # Lazily-cancelled events still sitting in the heap.  The live
-        # (dispatchable) count is ``len(heap) - cancelled``, so the dispatch
+        # Lazily-cancelled events still sitting in the queue.  The live
+        # (dispatchable) count is ``queued - cancelled``, so the dispatch
         # loop never touches a counter on the hot path.
         self._cancelled_in_heap = 0
         # One bound-method object reused by every scheduled event.
         self._cancel_hook = self._note_cancel
+        # Batch handlers: batch_key -> callable(list[Event]).
+        self._batch_handlers: Dict[str, Callable[[List[Event]], None]] = {}
         # Observer with event_begin(event)/event_end(event); None keeps the
         # dispatch loop on its unobserved fast path (a single branch).
         self._observer: Optional[Any] = None
@@ -86,6 +133,11 @@ class SimulationEngine:
 
     def _note_cancel(self) -> None:
         self._cancelled_in_heap += 1
+
+    @property
+    def scheduler(self) -> str:
+        """The priority-queue implementation this engine runs on."""
+        return self._scheduler
 
     # --------------------------------------------------------------- observer
     @property
@@ -99,7 +151,9 @@ class SimulationEngine:
         The observer's ``event_begin(event)`` / ``event_end(event)`` are
         called around every executed event.  Used by the profiler and
         tracer in :mod:`repro.obs`; when no observer is installed the
-        dispatch loop pays one branch and nothing else.
+        dispatch loop pays one branch and nothing else.  With an observer
+        installed, cohorts always dispatch per event (never through a
+        batch handler) so profiles attribute every event exactly.
         """
         if observer is not None and (
             not callable(getattr(observer, "event_begin", None))
@@ -130,6 +184,28 @@ class SimulationEngine:
             raise SimulationError("telemetry must provide record_engine_event(t)")
         self._telemetry = telemetry
 
+    # ---------------------------------------------------------- batch handlers
+    def register_batch_handler(
+        self, key: str, handler: Optional[Callable[[List[Event]], None]]
+    ) -> None:
+        """Register a vectorised handler for same-timestamp event cohorts.
+
+        When the dispatch loop pops a cohort (>= 2 events at one
+        timestamp) whose members all carry ``batch_key == key``, it calls
+        ``handler(events)`` once instead of each event's callback --
+        ``events`` lists the cohort's live members in ``(time, seq)``
+        order.  Mixed or unregistered cohorts, singletons, and any cohort
+        dispatched while an observer is installed fall back to per-event
+        callbacks, so batching never changes observable order.  Pass
+        ``None`` to unregister.
+        """
+        if handler is None:
+            self._batch_handlers.pop(key, None)
+            return
+        if not callable(handler):
+            raise SimulationError("batch handler must be callable")
+        self._batch_handlers[key] = handler
+
     # ------------------------------------------------------------------ clock
     @property
     def now(self) -> float:
@@ -141,34 +217,45 @@ class SimulationEngine:
         """Number of events executed so far (cancelled events excluded)."""
         return self._processed
 
+    def _queued(self) -> int:
+        if self._scheduler == "heap":
+            return len(self._heap)
+        return self._cal_count
+
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still in the queue."""
-        return len(self._heap) - self._cancelled_in_heap
+        return self._queued() - self._cancelled_in_heap
 
     @property
     def pending_live(self) -> int:
         """Live (non-cancelled) queued events, tracked in O(1).
 
-        Lazily-cancelled events stay in the heap until popped; this count
+        Lazily-cancelled events stay in the queue until popped; this count
         excludes them, so progress reporting and the profiler see the true
         remaining work rather than the raw queue depth.
         """
-        return len(self._heap) - self._cancelled_in_heap
+        return self._queued() - self._cancelled_in_heap
 
     @property
     def pending_events(self) -> int:
         """Raw queue depth, *including* lazily-cancelled events."""
-        return len(self._heap)
+        return self._queued()
 
     # -------------------------------------------------------------- schedule
     def schedule_at(
-        self, time: float, callback: Callable[[], None], name: str = ""
+        self,
+        time: float,
+        callback: Callable[[], None],
+        name: str = "",
+        batch_key: Optional[str] = None,
     ) -> Event:
         """Schedule ``callback`` at absolute simulation ``time``.
 
         Raises :class:`SimulationError` if ``time`` precedes the current
         clock -- causality violations are always bugs in the caller.
+        ``batch_key`` opts the event into cohort batching (see
+        :meth:`register_batch_handler`).
         """
         if math.isnan(time):
             raise SimulationError("cannot schedule at NaN time")
@@ -181,18 +268,77 @@ class SimulationEngine:
             seq=next(self._seq),
             callback=callback,
             name=name,
+            batch_key=batch_key,
             _on_cancel=self._cancel_hook,
         )
-        heapq.heappush(self._heap, event)
+        if self._scheduler == "heap":
+            heapq.heappush(self._heap, event)
+        else:
+            key = int(time)  # one-second buckets; times are non-negative
+            bucket = self._cal.get(key)
+            if bucket is None:
+                self._cal[key] = [event]
+                heapq.heappush(self._cal_keys, key)
+            else:
+                heapq.heappush(bucket, event)
+            self._cal_count += 1
         return event
 
     def schedule_after(
-        self, delay: float, callback: Callable[[], None], name: str = ""
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        name: str = "",
+        batch_key: Optional[str] = None,
     ) -> Event:
         """Schedule ``callback`` after a relative non-negative ``delay``."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, callback, name=name)
+        return self.schedule_at(
+            self._now + delay, callback, name=name, batch_key=batch_key
+        )
+
+    # ------------------------------------------------------- queue primitives
+    def _peek_live(self) -> Optional[Event]:
+        """The next live event, dropping lazily-cancelled heads on the way.
+
+        The serial loop always popped consecutive cancelled heads before
+        checking ``until``, so dropping them here preserves behaviour
+        exactly.  Returns None when no live event remains.
+        """
+        if self._scheduler == "heap":
+            heap = self._heap
+            while heap:
+                event = heap[0]
+                if event.cancelled:
+                    heapq.heappop(heap)
+                    self._cancelled_in_heap -= 1
+                    continue
+                return event
+            return None
+        cal, keys = self._cal, self._cal_keys
+        while keys:
+            bucket = cal.get(keys[0])
+            if not bucket:
+                key = heapq.heappop(keys)
+                cal.pop(key, None)
+                continue
+            event = bucket[0]
+            if event.cancelled:
+                heapq.heappop(bucket)
+                self._cal_count -= 1
+                self._cancelled_in_heap -= 1
+                continue
+            return event
+        return None
+
+    def _pop_head(self) -> Event:
+        """Pop the queue head (valid immediately after a _peek_live hit)."""
+        if self._scheduler == "heap":
+            return heapq.heappop(self._heap)
+        event = heapq.heappop(self._cal[self._cal_keys[0]])
+        self._cal_count -= 1
+        return event
 
     # ------------------------------------------------------------------- run
     def run(self, until: Optional[float] = None) -> float:
@@ -201,36 +347,86 @@ class SimulationEngine:
         Runs until the queue is exhausted, or until the clock would pass
         ``until`` (events at exactly ``until`` are executed).  Returns the
         final clock value.  Re-entrant calls are rejected.
+
+        Same-timestamp events are popped as one *cohort* before any of
+        their callbacks run; dispatch stays in ``(time, seq)`` order.
+        Events scheduled by a cohort member at the current timestamp land
+        in a follow-up cohort, exactly where the serial loop would have
+        dispatched them.
         """
         if self._running:
             raise SimulationError("engine is already running")
         self._running = True
-        heap = self._heap
-        pop = heapq.heappop
         # Read once: install observers before run(), not from inside it.
         observer = self._observer
         telemetry = self._telemetry
+        batch_handlers = self._batch_handlers
         try:
-            while heap:
-                event = heap[0]
-                if event.cancelled:
-                    pop(heap)
-                    self._cancelled_in_heap -= 1
-                    continue
+            while True:
+                event = self._peek_live()
+                if event is None:
+                    break
                 if until is not None and event.time > until:
                     break
-                pop(heap)
-                event._on_cancel = None  # executed: a late cancel is a no-op
-                self._now = event.time
-                self._processed += 1
-                if observer is None:
-                    event.callback()
-                else:
-                    observer.event_begin(event)
-                    event.callback()
-                    observer.event_end(event)
-                if telemetry is not None:
-                    telemetry.record_engine_event(event.time)
+                self._pop_head()
+                event._on_cancel = None  # popped: a late cancel is a no-op
+                t = event.time
+                peer = self._peek_live()
+                if peer is None or peer.time != t:
+                    # Singleton cohort: the common fast path (trace times
+                    # are continuous floats; ties are rare).
+                    self._now = t
+                    self._processed += 1
+                    if observer is None:
+                        event.callback()
+                    else:
+                        observer.event_begin(event)
+                        event.callback()
+                        observer.event_end(event)
+                    if telemetry is not None:
+                        telemetry.record_engine_event(t)
+                    continue
+                # Gather the full cohort.  _on_cancel is cleared at pop
+                # time so a member cancelled by an earlier member's
+                # callback cannot corrupt the lazy-cancel counter; the
+                # re-check before each dispatch below skips it instead.
+                cohort = [event]
+                while peer is not None and peer.time == t:
+                    self._pop_head()
+                    peer._on_cancel = None
+                    cohort.append(peer)
+                    peer = self._peek_live()
+                self._now = t
+                key = cohort[0].batch_key
+                if (
+                    key is not None
+                    and observer is None
+                    and key in batch_handlers
+                    and all(e.batch_key == key for e in cohort)
+                ):
+                    live = [e for e in cohort if not e.cancelled]
+                    if live:
+                        self._processed += len(live)
+                        batch_handlers[key](live)
+                        if telemetry is not None:
+                            for e in live:
+                                telemetry.record_engine_event(t)
+                    continue
+                for e in cohort:
+                    if e.cancelled:
+                        # Cancelled mid-cohort (or while queued): not
+                        # processed, no observer hooks, no telemetry --
+                        # identical to the serial loop's lazy skip.
+                        continue
+                    self._processed += 1
+                    if observer is None:
+                        e.callback()
+                    else:
+                        observer.event_begin(e)
+                        e.callback()
+                        observer.event_end(e)
+                    if telemetry is not None:
+                        telemetry.record_engine_event(t)
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -239,25 +435,23 @@ class SimulationEngine:
 
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            event._on_cancel = None
-            self._now = event.time
-            self._processed += 1
-            observer = self._observer
-            if observer is None:
-                event.callback()
-            else:
-                observer.event_begin(event)
-                event.callback()
-                observer.event_end(event)
-            if self._telemetry is not None:
-                self._telemetry.record_engine_event(event.time)
-            return True
-        return False
+        event = self._peek_live()
+        if event is None:
+            return False
+        self._pop_head()
+        event._on_cancel = None
+        self._now = event.time
+        self._processed += 1
+        observer = self._observer
+        if observer is None:
+            event.callback()
+        else:
+            observer.event_begin(event)
+            event.callback()
+            observer.event_end(event)
+        if self._telemetry is not None:
+            self._telemetry.record_engine_event(event.time)
+        return True
 
 
 class PeriodicTimer:
@@ -313,6 +507,6 @@ def ms(milliseconds: float) -> float:
     return milliseconds / 1000.0
 
 
-def make_engine() -> SimulationEngine:
+def make_engine(scheduler: str = "heap") -> SimulationEngine:
     """Factory kept for API symmetry with heavier simulation frameworks."""
-    return SimulationEngine()
+    return SimulationEngine(scheduler=scheduler)

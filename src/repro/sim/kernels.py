@@ -34,8 +34,9 @@ against.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from itertools import chain as chain_iter_
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,10 +48,37 @@ __all__ = [
     "bucket_bytes",
     "chain_nodes",
     "chain_steps",
+    "flood_bfs",
+    "flood_frontier",
+    "flood_rings",
+    "reference_mode",
     "rw_delivery",
     "rw_search",
     "segmented_cumsum",
 ]
+
+#: When True, every call site that has both a batched kernel and a
+#: retained reference loop routes through the reference loop.  This is
+#: how the differential tests and the A/B benchmarks force the pre-kernel
+#: code paths in-process; flip it only via :func:`reference_mode`.
+REFERENCE_ONLY = False
+
+
+@contextmanager
+def reference_mode() -> Iterator[None]:
+    """Force all kernel call sites onto their retained reference loops.
+
+    Used by the differential tests and ``bench_engine_dispatch`` to run
+    the same simulation twice -- once batched, once on the original
+    per-message loops -- and compare results bit-for-bit.
+    """
+    global REFERENCE_ONLY
+    saved = REFERENCE_ONLY
+    REFERENCE_ONLY = True
+    try:
+        yield
+    finally:
+        REFERENCE_ONLY = saved
 
 #: First-chunk size for chunked walks (doubles every round).  Small at
 #: first because searches over well-replicated content hit within a few
@@ -67,7 +95,14 @@ class WalkCsr:
     :meth:`repro.network.overlay.Overlay.live_csr` and mirrors them into
     plain Python lists: the stepping recurrence indexes lists (fast
     scalars), while the vectorised post-processing fancy-indexes the NumPy
-    arrays.  Build once per churn epoch and reuse (the overlay caches it).
+    arrays.  Build once per churn epoch and reuse (the overlay caches it,
+    and all kernel consumers -- walk, flood and ring -- share the same
+    per-epoch instance).
+
+    The list mirrors cost O(E) to build but only the walk kernels need
+    them; the flood/ring kernels consume the NumPy arrays directly.  They
+    are therefore built lazily on first access, so churn epochs that only
+    see floods never pay for them.
     """
 
     __slots__ = (
@@ -75,12 +110,12 @@ class WalkCsr:
         "indices",
         "lats",
         "deg",
-        "ip",
-        "dg",
-        "ix",
-        "lat_l",
-        "nbr",
-        "dgf",
+        "_ip",
+        "_dg",
+        "_ix",
+        "_lat_l",
+        "_nbr",
+        "_dgf",
         "n",
         "lats_positive",
     )
@@ -92,25 +127,67 @@ class WalkCsr:
         self.indices = indices
         self.lats = lats
         self.deg: np.ndarray = np.diff(indptr)
-        self.ip: List[int] = indptr.tolist()
-        self.dg: List[int] = self.deg.tolist()
-        self.ix: List[int] = indices.tolist()
-        self.lat_l: List[float] = lats.tolist()
         self.n = len(indptr) - 1
+        self._ip: Optional[List[int]] = None
+        self._dg: Optional[List[int]] = None
+        self._ix: Optional[List[int]] = None
+        self._lat_l: Optional[List[float]] = None
+        self._nbr: Optional[List[List[int]]] = None
+        self._dgf: Optional[List[float]] = None
+        # Positive latencies guarantee strictly increasing per-walker
+        # arrival times, which the post-hoc search truncation relies on.
+        self.lats_positive = bool(np.all(lats > 0.0)) if len(lats) else True
+
+    def _build_lists(self) -> None:
+        self._ip = self.indptr.tolist()
+        self._dg = self.deg.tolist()
+        self._ix = self.indices.tolist()
+        self._lat_l = self.lats.tolist()
         # Per-node neighbour lists: one small-list index per step instead
         # of three big-list indexings (see chain_nodes).
-        ix, ip = self.ix, self.ip
-        self.nbr: List[List[int]] = [
-            ix[ip[u] : ip[u + 1]] for u in range(self.n)
-        ]
+        ix, ip = self._ix, self._ip
+        self._nbr = [ix[ip[u] : ip[u + 1]] for u in range(self.n)]
         # Degrees as floats: ``u * dgf[node]`` is then a float*float
         # multiply, identical to the reference's ``u * deg`` (Python
         # converts the int operand to the same float -- degrees are far
         # below 2**53) but without a len() call per step.
-        self.dgf: List[float] = [float(d) for d in self.dg]
-        # Positive latencies guarantee strictly increasing per-walker
-        # arrival times, which the post-hoc search truncation relies on.
-        self.lats_positive = bool(np.all(lats > 0.0)) if len(lats) else True
+        self._dgf = [float(d) for d in self._dg]
+
+    @property
+    def ip(self) -> List[int]:
+        if self._ip is None:
+            self._build_lists()
+        return self._ip
+
+    @property
+    def dg(self) -> List[int]:
+        if self._dg is None:
+            self._build_lists()
+        return self._dg
+
+    @property
+    def ix(self) -> List[int]:
+        if self._ix is None:
+            self._build_lists()
+        return self._ix
+
+    @property
+    def lat_l(self) -> List[float]:
+        if self._lat_l is None:
+            self._build_lists()
+        return self._lat_l
+
+    @property
+    def nbr(self) -> List[List[int]]:
+        if self._nbr is None:
+            self._build_lists()
+        return self._nbr
+
+    @property
+    def dgf(self) -> List[float]:
+        if self._dgf is None:
+            self._build_lists()
+        return self._dgf
 
 
 def chain_steps(
@@ -426,3 +503,233 @@ def rw_search(
         ((s, w, node) for a, s, w, node in candidates if a == hit_time),
     )
     return RwSearchResult(n_messages, buckets, hit_time, best[2])
+
+
+# ------------------------------------------------------------------ flooding
+_ARANGE = np.empty(0, dtype=np.int64)
+
+
+def _arange(total: int) -> np.ndarray:
+    """A read-only ``arange(total)`` view over a growing module cache.
+
+    Every flood hop needs a fresh ramp only as an addend (the sum
+    allocates its own output), so one shared buffer serves them all.
+    """
+    global _ARANGE
+    if total > len(_ARANGE):
+        _ARANGE = np.arange(max(total, 2 * len(_ARANGE)), dtype=np.int64)
+    return _ARANGE[:total]
+
+
+def _frontier_edges(
+    csr: WalkCsr, frontier: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """``(edge_ids, lens)`` for every out-edge of the ``frontier`` nodes.
+
+    ``repeat(starts - offsets, lens) + arange(total)`` lays each node's
+    contiguous CSR edge range end to end -- one vectorised pass instead of
+    a per-node slice loop.  ``lens`` (the frontier out-degrees) rides along
+    so callers don't re-gather it.  Returns None when the frontier has no
+    edges.
+    """
+    lens = csr.deg[frontier]
+    total = int(lens.sum())
+    if not total:
+        return None
+    starts = csr.indptr[frontier]
+    offsets = np.zeros(len(lens), dtype=np.int64)
+    np.cumsum(lens[:-1], out=offsets[1:])
+    return np.repeat(starts - offsets, lens) + _arange(total), lens
+
+
+def _flood_messages(csr: WalkCsr, first_hop: np.ndarray, source: int, ttl: int) -> int:
+    """The flood's transmission count from first-reception hops.
+
+    ``deg(source) + sum over nodes first reached at hop < ttl of (deg-1)``
+    -- identical to the reference formula (same ``first_hop``, same live
+    degrees: ``np.diff(indptr)`` equals the bincount over live sources).
+    """
+    forwarding = (first_hop >= 1) & (first_hop < ttl)
+    return int(csr.deg[source]) + int(np.sum(csr.deg[forwarding] - 1))
+
+
+def flood_frontier(
+    csr: WalkCsr, source: int, ttl: int
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Frontier-restricted flood: ``(first_hop, arrival_ms, n_messages)``.
+
+    Bit-identical to the reference hop-bounded Bellman-Ford that relaxes
+    *every* live edge each round (``np.minimum.at`` over the full edge
+    arrays): if a node's arrival did not change in round ``h-1``, every
+    candidate ``arrival[u] + lat`` it can offer was already applied in an
+    earlier round, so restricting round ``h`` to the out-edges of changed
+    nodes removes only candidates that cannot lower any minimum.  Each
+    candidate is the same single IEEE addition as the reference's, and
+    ``min`` over floats is exact, so the arrival array matches bit for
+    bit.  Floods reach a small fraction of a 10k-node overlay within
+    TTL 6, which is why touching only frontier edges is ~2x faster than
+    relaxing all of them every round.
+    """
+    n = csr.n
+    arrival = np.full(n, np.inf)
+    arrival[source] = 0.0
+    first_hop = np.full(n, -1, dtype=np.int64)
+    first_hop[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    fwd = 0  # running sum of (deg - 1) over forwarding nodes (hop < ttl)
+    for h in range(1, ttl + 1):
+        if len(frontier) == 1:
+            # Hop 1 is always a singleton and churned overlays shrink
+            # later frontiers too; a contiguous CSR slice skips the
+            # ragged gather entirely (same values: one node's edge range).
+            u = frontier[0]
+            a = csr.indptr[u]
+            b = a + csr.deg[u]
+            if a == b:
+                break
+            targets = csr.indices[a:b]
+            relaxed = arrival[u] + csr.lats[a:b]
+        else:
+            fe = _frontier_edges(csr, frontier)
+            if fe is None:
+                break
+            eids, lens = fe
+            relaxed = np.repeat(arrival[frontier], lens) + csr.lats[eids]
+            targets = csr.indices[eids]
+        # Only the relaxed targets can change, so when the frontier is
+        # small the changed-node scan restricts to them (``unique`` yields
+        # the same sorted node ids the full-array ``nonzero`` would).  Once
+        # the flood saturates -- target count comparable to n -- sorting
+        # the targets costs more than scanning the dense arrays, so the
+        # scan adapts; both branches produce identical ``changed`` arrays.
+        if len(targets) * 16 < n:
+            uniq = np.unique(targets)
+            old_t = arrival[uniq]
+            np.minimum.at(arrival, targets, relaxed)
+            changed = uniq[arrival[uniq] < old_t]
+        else:
+            old = arrival.copy()
+            np.minimum.at(arrival, targets, relaxed)
+            changed = np.nonzero(arrival < old)[0]
+        if not len(changed):
+            break
+        newly = changed[first_hop[changed] < 0]
+        first_hop[newly] = h
+        if h < ttl and len(newly):
+            # Accumulate the message formula's forwarding term as nodes
+            # are first reached -- the same integer sum the full-array
+            # ``_flood_messages`` mask would produce, without two dense
+            # n-length passes per flood.
+            fwd += int(csr.deg[newly].sum()) - len(newly)
+        frontier = changed
+    return first_hop, arrival, int(csr.deg[source]) + fwd
+
+
+def flood_bfs(csr: WalkCsr, source: int, ttl: int) -> Tuple[np.ndarray, int]:
+    """BFS-only flood: ``(first_hop, n_messages)``, no arrival times.
+
+    Ad delivery (ASAP(FLD)) only needs who received the ad and how many
+    transmissions the flood cost; skipping the latency relaxation makes
+    this another ~20% cheaper than :func:`flood_frontier`.  ``first_hop``
+    is identical to the full kernel's (hop counts are latency-free).
+    """
+    n = csr.n
+    first_hop = np.full(n, -1, dtype=np.int64)
+    first_hop[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    fwd = 0  # running sum of (deg - 1) over forwarding nodes (hop < ttl)
+    for h in range(1, ttl + 1):
+        if len(frontier) == 1:
+            u = frontier[0]
+            a = csr.indptr[u]
+            b = a + csr.deg[u]
+            if a == b:
+                break
+            targets = csr.indices[a:b]
+        else:
+            fe = _frontier_edges(csr, frontier)
+            if fe is None:
+                break
+            targets = csr.indices[fe[0]]
+        new = targets[first_hop[targets] < 0]
+        if not len(new):
+            break
+        first_hop[new] = h
+        # ``first_hop == h`` holds exactly at the nodes in ``new``, so the
+        # sorted unique of ``new`` is the full-array nonzero scan's result;
+        # the scan adapts by size like flood_frontier's.
+        if len(new) * 16 < n:
+            frontier = np.unique(new)
+        else:
+            frontier = np.nonzero(first_hop == h)[0]
+        if h < ttl:
+            fwd += int(csr.deg[frontier].sum()) - len(frontier)
+    return first_hop, int(csr.deg[source]) + fwd
+
+
+def flood_rings(
+    csr: WalkCsr, source: int, ttl_sequence: Sequence[int]
+) -> Iterator[Tuple[np.ndarray, np.ndarray, int]]:
+    """Incremental expanding-ring floods: one snapshot per ring TTL.
+
+    Yields ``(first_hop, arrival_ms, n_messages)`` for each TTL in the
+    (ascending) ``ttl_sequence``, continuing the same Bellman-Ford state
+    between rings instead of re-flooding from scratch: the paper's
+    (1, 2, 4, 6) sequence costs 6 relaxation rounds instead of 13.  Each
+    snapshot is bit-identical to a standalone :func:`flood_frontier` at
+    that TTL -- running ``h`` frontier rounds is exactly what the
+    standalone kernel does, and early exhaustion (an empty frontier)
+    freezes the state that every later ring would recompute.  The yielded
+    arrays are copies; callers may keep them across rings.
+    """
+    n = csr.n
+    arrival = np.full(n, np.inf)
+    arrival[source] = 0.0
+    first_hop = np.full(n, -1, dtype=np.int64)
+    first_hop[source] = 0
+    frontier: Optional[np.ndarray] = np.array([source], dtype=np.int64)
+    h = 0
+    for ttl in ttl_sequence:
+        while h < ttl and frontier is not None:
+            if len(frontier) == 1:
+                u = frontier[0]
+                a = csr.indptr[u]
+                b = a + csr.deg[u]
+                if a == b:
+                    frontier = None
+                    break
+                h += 1
+                targets = csr.indices[a:b]
+                relaxed = arrival[u] + csr.lats[a:b]
+            else:
+                fe = _frontier_edges(csr, frontier)
+                if fe is None:
+                    frontier = None
+                    break
+                h += 1
+                eids, lens = fe
+                relaxed = np.repeat(arrival[frontier], lens) + csr.lats[eids]
+                targets = csr.indices[eids]
+            # Same adaptive changed scan as flood_frontier (the snapshots
+            # must stay bit-identical to the standalone kernel, so the two
+            # relaxation loops evolve in lockstep).
+            if len(targets) * 16 < n:
+                uniq = np.unique(targets)
+                old_t = arrival[uniq]
+                np.minimum.at(arrival, targets, relaxed)
+                changed = uniq[arrival[uniq] < old_t]
+            else:
+                old = arrival.copy()
+                np.minimum.at(arrival, targets, relaxed)
+                changed = np.nonzero(arrival < old)[0]
+            if not len(changed):
+                frontier = None
+                break
+            newly = changed[first_hop[changed] < 0]
+            first_hop[newly] = h
+            frontier = changed
+        yield (
+            first_hop.copy(),
+            arrival.copy(),
+            _flood_messages(csr, first_hop, source, ttl),
+        )

@@ -91,6 +91,10 @@ class RunConfig:
     keepalive_period_s: float = 30.0
     # Footnote 1 likewise excludes download traffic; enable to model it.
     model_downloads: bool = False
+    # Event-queue implementation: "heap" (binary heap) or "calendar"
+    # (calendar queue).  Dispatch order -- and therefore every result and
+    # run fingerprint -- is identical; this is purely a performance knob.
+    scheduler: str = "heap"
 
     def __post_init__(self) -> None:
         if self.algorithm not in EXTENDED_ALGORITHMS:
@@ -110,6 +114,11 @@ class RunConfig:
             raise ValueError(
                 "edonkey.n_peers must match n_peers "
                 f"({self.edonkey.n_peers} != {self.n_peers})"
+            )
+        if self.scheduler not in ("heap", "calendar"):
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                "choose from ('heap', 'calendar')"
             )
 
     @property

@@ -20,6 +20,7 @@ substreams, so a config reproduces its results exactly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import List, Optional
 
@@ -124,6 +125,7 @@ def run_experiment(
     audit: bool = False,
     telemetry=False,
     progress=None,
+    phase_times: Optional[dict] = None,
 ) -> RunResult:
     """Execute one full trace replay and return its results.
 
@@ -148,8 +150,14 @@ def run_experiment(
       :class:`~repro.obs.telemetry.TelemetrySummary` -- the constant-
       memory alternative to full tracing;
     * ``progress`` -- optional ``callable(str)``; receives the rendered
-      run profile when profiling is on.
+      run profile when profiling is on;
+    * ``phase_times`` -- optional dict filled with wall-clock phase
+      durations (``setup_s``: substrate/topology/workload construction
+      and warm-up scheduling; ``replay_s``: the engine run).  Benchmarks
+      use the split to gate on simulated time rather than one-off
+      content synthesis.
     """
+    t_phase = time.perf_counter()
     streams = RandomStreams(seed=config.seed)
     if audit and tracer is None:
         tracer = Tracer(keep=True)
@@ -196,7 +204,7 @@ def run_experiment(
         algorithm.set_telemetry(tel)
 
     # --- replay ------------------------------------------------------------
-    engine = SimulationEngine()
+    engine = SimulationEngine(scheduler=config.scheduler)
     if tel is not None:
         engine.set_telemetry(tel)
     profiler: Optional[Profiler] = None
@@ -271,7 +279,13 @@ def run_experiment(
         engine.schedule_at(
             config.warmup_s + event.time, lambda e=event: handle(e), name="trace"
         )
+    if phase_times is not None:
+        now_wall = time.perf_counter()
+        phase_times["setup_s"] = now_wall - t_phase
+        t_phase = now_wall
     engine.run(until=config.warmup_s + trace.duration + 1.0)
+    if phase_times is not None:
+        phase_times["replay_s"] = time.perf_counter() - t_phase
 
     # --- collect ------------------------------------------------------------
     t_start = int(config.warmup_s)

@@ -1,0 +1,292 @@
+"""Cohort dispatch, batch handlers and the calendar-queue scheduler.
+
+The engine's contract across all of these features is *observable
+equivalence*: whatever combination of scheduler and batching is active,
+events execute in ``(time, seq)`` order, cancelled events never execute,
+and the processed/pending accounting matches the serial one-at-a-time
+loop.  These tests pin that contract, including the lazy-cancellation
+corner the batched pop must get right: an event cancelled by an earlier
+member of its own cohort.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import (
+    Event,
+    PeriodicTimer,
+    SimulationEngine,
+    SimulationError,
+)
+
+
+def _record_engine(scheduler: str):
+    engine = SimulationEngine(scheduler=scheduler)
+    log: list = []
+    return engine, log
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+class TestDispatchOrder:
+    def test_ties_dispatch_in_schedule_order(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        for i in range(5):
+            engine.schedule_at(1.0, lambda i=i: log.append(i))
+        engine.schedule_at(0.5, lambda: log.append("early"))
+        engine.schedule_at(2.0, lambda: log.append("late"))
+        engine.run()
+        assert log == ["early", 0, 1, 2, 3, 4, "late"]
+        assert engine.events_processed == 7
+
+    def test_interleaved_times_and_ties(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        # Same bucket (calendar width is 1 s), distinct float times.
+        times = [0.25, 0.75, 0.25, 0.5, 0.75, 0.25]
+        for i, t in enumerate(times):
+            engine.schedule_at(t, lambda i=i, t=t: log.append((t, i)))
+        engine.run()
+        assert log == sorted(log, key=lambda pair: (pair[0], pair[1]))
+
+    def test_cohort_member_scheduling_at_same_time(self, scheduler):
+        """An event scheduled *at the current time* by a cohort member runs
+        after the whole cohort, exactly as the serial loop orders it."""
+        engine, log = _record_engine(scheduler)
+
+        def first():
+            log.append("first")
+            engine.schedule_at(1.0, lambda: log.append("spawned"))
+
+        engine.schedule_at(1.0, first)
+        engine.schedule_at(1.0, lambda: log.append("second"))
+        engine.run()
+        assert log == ["first", "second", "spawned"]
+
+    def test_until_boundary(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        engine.schedule_at(1.0, lambda: log.append(1))
+        engine.schedule_at(2.0, lambda: log.append(2))
+        engine.schedule_at(3.0, lambda: log.append(3))
+        end = engine.run(until=2.0)
+        assert log == [1, 2]  # events at exactly `until` execute
+        assert end == 2.0
+        assert engine.pending == 1
+
+    def test_step(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        engine.schedule_at(1.0, lambda: log.append("a"))
+        engine.schedule_at(1.0, lambda: log.append("b"))
+        assert engine.step() and log == ["a"]
+        assert engine.step() and log == ["a", "b"]
+        assert not engine.step()
+
+    def test_periodic_timer(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        timer = PeriodicTimer(engine, period=1.0, callback=lambda: log.append(engine.now))
+        engine.run(until=3.5)
+        timer.stop()
+        assert log == [1.0, 2.0, 3.0]
+        engine.run(until=10.0)
+        assert log == [1.0, 2.0, 3.0]
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+class TestCancellation:
+    def test_cancel_before_run(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        ev = engine.schedule_at(1.0, lambda: log.append("x"))
+        engine.schedule_at(1.0, lambda: log.append("y"))
+        ev.cancel()
+        assert engine.pending == 1
+        assert engine.pending_events == 2  # raw depth keeps the corpse
+        engine.run()
+        assert log == ["y"]
+        assert engine.events_processed == 1
+        assert engine.pending == 0
+
+    def test_cancel_mid_cohort_skips_processing(self, scheduler):
+        """Regression: a cohort member cancelled by an earlier member must
+        not count as processed and must not fire observer hooks."""
+
+        class Recorder:
+            def __init__(self):
+                self.begun: list = []
+
+            def event_begin(self, event):
+                self.begun.append(event.name)
+
+            def event_end(self, event):
+                pass
+
+        engine2, log2 = _record_engine(scheduler)
+        recorder = Recorder()
+        engine2.set_observer(recorder)
+        targets = []
+
+        def kill_all():
+            log2.append("killer")
+            for t in targets:
+                t.cancel()
+
+        engine2.schedule_at(1.0, kill_all, name="killer")
+        for i in range(3):
+            targets.append(
+                engine2.schedule_at(1.0, lambda i=i: log2.append(i), name=f"victim-{i}")
+            )
+        engine2.schedule_at(2.0, lambda: log2.append("after"), name="after")
+        engine2.run()
+        assert log2 == ["killer", "after"]
+        assert engine2.events_processed == 2  # killer + after only
+        assert recorder.begun == ["killer", "after"]
+        assert engine2.pending == 0
+        assert engine2.pending_events == 0
+
+    def test_cancel_mid_cohort_without_observer(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        victim = None
+
+        def killer():
+            log.append("killer")
+            victim.cancel()
+
+        engine.schedule_at(1.0, killer)
+        victim = engine.schedule_at(1.0, lambda: log.append("victim"))
+        engine.schedule_at(1.0, lambda: log.append("survivor"))
+        engine.run()
+        assert log == ["killer", "survivor"]
+        assert engine.events_processed == 2
+        # The late cancel (after pop) must not have corrupted the lazy
+        # cancellation counter.
+        assert engine.pending == 0
+        assert engine.pending_events == 0
+
+    def test_cancel_after_execution_is_noop(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        ev = engine.schedule_at(1.0, lambda: log.append("ran"))
+        engine.run()
+        ev.cancel()  # must not touch the (empty) queue accounting
+        assert engine.pending == 0 and engine.pending_events == 0
+        engine.schedule_at(2.0, lambda: log.append("later"))
+        engine.run()
+        assert log == ["ran", "later"]
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+class TestBatchHandlers:
+    def test_homogeneous_cohort_uses_batch_handler(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        engine.register_batch_handler(
+            "bulk", lambda events: log.append([e.name for e in events])
+        )
+        for i in range(3):
+            engine.schedule_at(
+                1.0,
+                lambda i=i: log.append(f"fallback-{i}"),
+                name=f"ev-{i}",
+                batch_key="bulk",
+            )
+        engine.run()
+        assert log == [["ev-0", "ev-1", "ev-2"]]
+        assert engine.events_processed == 3
+
+    def test_singleton_never_batches(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        engine.register_batch_handler("bulk", lambda events: log.append("batched"))
+        engine.schedule_at(1.0, lambda: log.append("solo"), batch_key="bulk")
+        engine.run()
+        assert log == ["solo"]
+
+    def test_mixed_cohort_falls_back(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        engine.register_batch_handler("bulk", lambda events: log.append("batched"))
+        engine.schedule_at(1.0, lambda: log.append("a"), batch_key="bulk")
+        engine.schedule_at(1.0, lambda: log.append("b"))  # no batch_key
+        engine.run()
+        assert log == ["a", "b"]
+
+    def test_observer_forces_per_event_dispatch(self, scheduler):
+        class Counter:
+            def __init__(self):
+                self.n = 0
+
+            def event_begin(self, event):
+                self.n += 1
+
+            def event_end(self, event):
+                pass
+
+        engine, log = _record_engine(scheduler)
+        counter = Counter()
+        engine.set_observer(counter)
+        engine.register_batch_handler("bulk", lambda events: log.append("batched"))
+        for i in range(3):
+            engine.schedule_at(1.0, lambda i=i: log.append(i), batch_key="bulk")
+        engine.run()
+        assert log == [0, 1, 2]  # per-event fallback keeps profiles exact
+        assert counter.n == 3
+
+    def test_cancelled_members_excluded_from_batch(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        engine.register_batch_handler(
+            "bulk", lambda events: log.append([e.name for e in events])
+        )
+        evs = [
+            engine.schedule_at(1.0, lambda: None, name=f"ev-{i}", batch_key="bulk")
+            for i in range(3)
+        ]
+        evs[1].cancel()
+        engine.run()
+        assert log == [["ev-0", "ev-2"]]
+        assert engine.events_processed == 2
+
+    def test_unregister(self, scheduler):
+        engine, log = _record_engine(scheduler)
+        engine.register_batch_handler("bulk", lambda events: log.append("batched"))
+        engine.register_batch_handler("bulk", None)
+        engine.schedule_at(1.0, lambda: log.append("a"), batch_key="bulk")
+        engine.schedule_at(1.0, lambda: log.append("b"), batch_key="bulk")
+        engine.run()
+        assert log == ["a", "b"]
+
+
+class TestSchedulerEquivalence:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine(scheduler="fibonacci")
+
+    def test_scheduler_property(self):
+        assert SimulationEngine().scheduler == "heap"
+        assert SimulationEngine(scheduler="calendar").scheduler == "calendar"
+
+    def test_identical_dispatch_order_with_ties_and_cancels(self):
+        """Drive both schedulers through the same randomized workload and
+        require the exact same execution sequence."""
+        import random
+
+        def drive(scheduler: str) -> list:
+            rng = random.Random(42)
+            engine = SimulationEngine(scheduler=scheduler)
+            log: list = []
+            handles: list = []
+
+            def make(tag):
+                def cb():
+                    log.append((round(engine.now, 6), tag))
+                    # Occasionally spawn and occasionally cancel.
+                    if rng.random() < 0.3:
+                        t = engine.now + rng.choice([0.0, 0.1, 0.5, 1.7, 3.0])
+                        handles.append(
+                            engine.schedule_at(t, make(f"{tag}.c"), name=str(tag))
+                        )
+                    if handles and rng.random() < 0.2:
+                        handles.pop(rng.randrange(len(handles))).cancel()
+
+                return cb
+
+            for i in range(60):
+                t = rng.choice([0.5, 1.0, 1.0, 2.25, 2.25, 4.0, 7.5])
+                handles.append(engine.schedule_at(t, make(i), name=str(i)))
+            engine.run(until=40.0)
+            return [log, engine.events_processed, engine.pending]
+
+        assert drive("heap") == drive("calendar")

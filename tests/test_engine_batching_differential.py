@@ -1,0 +1,226 @@
+"""Differential tests: batched flood/ring/ASAP rounds vs reference loops.
+
+The batched paths added with the engine-batching work promise
+**bit-identical** observable behaviour to the retained reference
+implementations, across every layer:
+
+* flooding and expanding-ring search: frontier/incremental-ring kernels
+  (``flood_frontier``/``flood_rings``) vs the full-edge-array Bellman-Ford
+  (``flood_reach_reference``);
+* ASAP dissemination, ads requests and confirmation rounds: inlined
+  array-at-a-time merges vs the method-call-per-receiver loops
+  (``_disseminate_reference``/``_ads_request_reference``);
+* whole runs: blake2b run fingerprints must be bit-equal between
+  reference mode and batched mode, between the heap and calendar
+  schedulers, and between serial and ``jobs=2`` sweeps.
+
+``kernels.reference_mode()`` flips every dual-path call site at once, so
+the run-level comparisons cover the composition, not just each kernel in
+isolation.  All cases run with churn enabled.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.search.flooding import flood_reach, flood_reach_reference
+from repro.sim import kernels
+from repro.simulation.config import scaled_config
+from repro.simulation.runner import run_experiment
+
+from tests.test_walk_kernels_differential import ledger_state, make_overlay
+
+SEEDS = [0, 1, 2]
+
+
+def small_config(algorithm, seed, scheduler="heap"):
+    config = scaled_config(
+        algorithm=algorithm,
+        topology="random",
+        n_peers=250,
+        n_queries=250,  # churn defaults to n_queries/30 joins + leaves
+        seed=seed,
+        use_physical_network=False,
+        warmup_s=40.0,
+    )
+    if scheduler != config.scheduler:
+        config = dataclasses.replace(config, scheduler=scheduler)
+    return config
+
+
+# ------------------------------------------------------------- flood kernels
+class TestFloodKernelDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("ttl", [1, 3, 6])
+    def test_flood_frontier_matches_reference(self, seed, ttl):
+        ov = make_overlay(seed)
+        fh_k, arr_k, msg_k = flood_reach(ov, source=0, ttl=ttl)
+        fh_r, arr_r, msg_r = flood_reach_reference(ov, source=0, ttl=ttl)
+        assert np.array_equal(fh_k, fh_r)
+        assert np.array_equal(arr_k, arr_r)  # bit-equal floats
+        assert msg_k == msg_r
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_flood_matches_reference_under_churn(self, seed):
+        ov = make_overlay(seed)
+        rng = np.random.default_rng(seed + 30)
+        leaves = rng.choice(np.arange(10, 400), size=15, replace=False)
+        for node in leaves.tolist():
+            ov.leave(node)
+            fh_k, arr_k, msg_k = flood_reach(ov, source=0, ttl=4)
+            fh_r, arr_r, msg_r = flood_reach_reference(ov, source=0, ttl=4)
+            assert np.array_equal(fh_k, fh_r)
+            assert np.array_equal(arr_k, arr_r)
+            assert msg_k == msg_r
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_flood_rings_match_standalone_floods(self, seed):
+        """Every incremental ring snapshot equals a from-scratch flood at
+        that TTL (the expanding-ring equivalence)."""
+        ov = make_overlay(seed)
+        ttls = (1, 2, 4, 6)
+        rings = list(kernels.flood_rings(ov.walk_csr(), 0, ttls))
+        assert len(rings) == len(ttls)
+        for ttl, (fh, arr, msgs) in zip(ttls, rings):
+            fh_r, arr_r, msg_r = flood_reach_reference(ov, source=0, ttl=ttl)
+            assert np.array_equal(fh, fh_r)
+            assert np.array_equal(arr, arr_r)
+            assert msgs == msg_r
+
+    def test_bfs_matches_reference_hops(self):
+        ov = make_overlay(5)
+        fh_k, msg_k = kernels.flood_bfs(ov.walk_csr(), 0, 6)
+        fh_r, _, msg_r = flood_reach_reference(ov, source=0, ttl=6)
+        assert np.array_equal(fh_k, fh_r)
+        assert msg_k == msg_r
+
+    def test_reference_mode_routes_flood_reach(self):
+        ov = make_overlay(1)
+        with kernels.reference_mode():
+            assert kernels.REFERENCE_ONLY
+            fh, arr, msgs = flood_reach(ov, source=0, ttl=3)
+        assert not kernels.REFERENCE_ONLY
+        fh2, arr2, msgs2 = flood_reach(ov, source=0, ttl=3)
+        assert np.array_equal(fh, fh2) and np.array_equal(arr, arr2)
+        assert msgs == msgs2
+
+
+# ----------------------------------------------------------- run-level equal
+def run_fingerprint(config):
+    result = run_experiment(config, audit=True)
+    assert result.audit is not None and result.audit.ok
+    return result.fingerprint
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["flooding", "expanding_ring", "asap_fld", "asap_rw"]
+)
+class TestRunFingerprints:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reference_vs_batched(self, algorithm, seed):
+        """The whole run -- outcomes, ledgers, churn interleaving -- is
+        bit-identical with every batched path flipped to its reference."""
+        config = small_config(algorithm, seed)
+        with kernels.reference_mode():
+            reference = run_fingerprint(config)
+        batched = run_fingerprint(config)
+        assert reference == batched
+
+    def test_heap_vs_calendar(self, algorithm):
+        seed = 1
+        heap_fp = run_fingerprint(small_config(algorithm, seed, scheduler="heap"))
+        cal_fp = run_fingerprint(small_config(algorithm, seed, scheduler="calendar"))
+        assert heap_fp == cal_fp
+
+
+class TestSerialVsParallelFingerprints:
+    def test_jobs2_bit_equal(self):
+        """A two-worker sweep reproduces the serial fingerprints exactly,
+        batched paths and all."""
+        from repro.experiments.parallel import run_cells
+
+        configs = [
+            small_config(algo, seed=2)
+            for algo in ("flooding", "expanding_ring", "asap_fld", "asap_rw")
+        ]
+        serial = [run_fingerprint(c) for c in configs]
+        outcomes = run_cells(configs, jobs=2, audit=True)
+        parallel = [r.fingerprint for r in outcomes]
+        assert serial == parallel
+
+
+# ----------------------------------------------- protocol-level state equal
+class TestAsapStateDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_repos_cachers_ledger_bit_equal(self, seed):
+        """Beyond outcome fingerprints: the pooled repository state --
+        entries, versions, behind sets, cachers, ledger buckets -- matches
+        between batched and reference dissemination/ads-request paths."""
+        from repro.simulation.runner import build_algorithm
+        from repro.network.overlay import Overlay
+        from repro.network.topology import random_topology
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.metrics import BandwidthLedger
+        from repro.sim.random import RandomStreams
+        from repro.workload.edonkey import EdonkeyParams, synthesize_content
+
+        config = small_config("asap_fld", seed)
+
+        def run(reference: bool):
+            streams = RandomStreams(seed=config.seed)
+            topo = random_topology(
+                n=config.n_peers, avg_degree=4.0, rng=streams.get("topology")
+            )
+            ov = Overlay(topo, default_edge_latency_ms=15.0)
+            dist = synthesize_content(config.edonkey, streams.get("content"))
+            ledger = BandwidthLedger()
+            algo = build_algorithm(
+                config, ov, dist.index, ledger, streams.get("algorithm"),
+                dist.interests,
+            )
+            engine = SimulationEngine()
+            if reference:
+                with kernels.reference_mode():
+                    algo.warmup(engine, start=0.0, duration=20.0)
+                    engine.run(until=25.0)
+                    # Queries + churn interleaved, all under reference mode.
+                    for i in range(40):
+                        node = 3 * i % config.n_peers
+                        if ov.is_live(node):
+                            algo.search(node, ["rock"], 25.0 + i)
+                        if i % 7 == 0 and ov.is_live(i):
+                            ov.leave(i)
+                            algo.on_leave(i, 25.0 + i)
+                        if i % 11 == 0 and not ov.is_live(max(0, i - 7)):
+                            ov.join(max(0, i - 7))
+                            algo.on_join(max(0, i - 7), 25.0 + i)
+            else:
+                algo.warmup(engine, start=0.0, duration=20.0)
+                engine.run(until=25.0)
+                for i in range(40):
+                    node = 3 * i % config.n_peers
+                    if ov.is_live(node):
+                        algo.search(node, ["rock"], 25.0 + i)
+                    if i % 7 == 0 and ov.is_live(i):
+                        ov.leave(i)
+                        algo.on_leave(i, 25.0 + i)
+                    if i % 11 == 0 and not ov.is_live(max(0, i - 7)):
+                        ov.join(max(0, i - 7))
+                        algo.on_join(max(0, i - 7), 25.0 + i)
+            repo_state = [
+                (
+                    sorted(
+                        (s, e.version, tuple(sorted(e.topics)), e.cached_at)
+                        for s, e in repo.entries.items()
+                    ),
+                    sorted(repo.behind),
+                )
+                for repo in algo.repos
+            ]
+            cacher_state = {
+                s: sorted(nodes) for s, nodes in algo.cachers.items() if nodes
+            }
+            return repo_state, cacher_state, ledger_state(ledger)
+
+        assert run(reference=True) == run(reference=False)

@@ -254,11 +254,12 @@ def _append_trajectory(entry: dict) -> None:
 def bench_engine_dispatch(benchmark):
     def run():
         micro = _micro_rows()
-        # Fingerprint pair only on the flooding cell -- the audited ASAP
-        # pair would double the bench's runtime, and the differential
-        # test suite already fingerprints every algorithm.
+        # Both cells run the audited fingerprint pair: the committed
+        # trajectory doubles as the cross-version equivalence record, so a
+        # null ASAP fingerprint would leave the ASAP arm unpinned (the
+        # regression gate asserts both fields are present).
         flood = _ab_cell("flooding", N_PEERS, N_QUERIES, fp_check=True)
-        asap = _ab_cell("asap_fld", ASAP_PEERS, ASAP_QUERIES, fp_check=False)
+        asap = _ab_cell("asap_fld", ASAP_PEERS, ASAP_QUERIES, fp_check=True)
         return micro, flood, asap
 
     micro, flood, asap = benchmark.pedantic(run, rounds=1, iterations=1)

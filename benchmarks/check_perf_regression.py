@@ -16,6 +16,19 @@ reported but never gated on.
    ``--tolerance`` (default 0.02 absolute, i.e. two percentage points of
    headroom for machine noise).
 
+**Scale-up gate** (runs when ``--scaleup-result`` is given) -- fresh
+``benchmarks/results/scaleup.json`` (written by ``bench_scaleup.py``)
+vs ``BENCH_SCALEUP.json``:
+
+1. **absolute bar** -- every cell's peak RSS must stay under
+   ``--max-scaleup-rss-gb`` (default 8.0, the struct-of-arrays
+   acceptance budget for the 100k-peer cells; CI's reduced-scale smoke
+   keeps the same bar -- memory only shrinks with cell size);
+2. **trend bar** -- each fresh cell whose (algorithm, n_peers, cache)
+   triple matches a committed baseline cell must not exceed that cell's
+   peak RSS by more than ``--scaleup-tolerance`` (default 0.25
+   multiplicative headroom).
+
 **Engine gate** (runs when ``--engine-result`` is given) -- fresh
 ``benchmarks/results/engine_dispatch.json`` (written by
 ``bench_engine_dispatch.py``) vs ``BENCH_ENGINE.json``:
@@ -120,38 +133,71 @@ def main(argv=None) -> int:
         help="allowed multiplicative drop below the baseline speedups "
         "(default 0.25, i.e. fresh >= 0.75 * baseline)",
     )
+    parser.add_argument(
+        "--scaleup-result",
+        type=Path,
+        default=None,
+        help="fresh scale-up benchmark output; enables the memory gate",
+    )
+    parser.add_argument(
+        "--scaleup-baseline",
+        type=Path,
+        default=Path("BENCH_SCALEUP.json"),
+        help="committed scale-up trajectory file (last entry is baseline)",
+    )
+    parser.add_argument(
+        "--max-scaleup-rss-gb",
+        type=float,
+        default=8.0,
+        help="absolute bar on any cell's peak RSS in GB (default 8.0)",
+    )
+    parser.add_argument(
+        "--scaleup-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed multiplicative peak-RSS growth over a matching "
+        "baseline cell (default 0.25, i.e. fresh <= 1.25 * baseline)",
+    )
     args = parser.parse_args(argv)
 
-    fresh = _load_result(args.result)
-    overhead = fresh["overhead_frac"]
-    print(
-        f"fresh run: {fresh['n_peers']} peers, {fresh['n_queries']} queries, "
-        f"disabled {fresh['disabled_s']:.3f}s, enabled {fresh['enabled_s']:.3f}s, "
-        f"overhead {overhead:+.2%}"
-    )
-
     failures = []
-    if overhead > args.max_overhead:
-        failures.append(
-            f"overhead {overhead:.2%} exceeds the absolute bar "
-            f"{args.max_overhead:.0%}"
+    other_gates = (
+        args.engine_result is not None or args.scaleup_result is not None
+    )
+    if other_gates and not args.result.exists():
+        # A job running only the engine/scale-up gates (e.g. the scale-up
+        # CI smoke) has no telemetry result to check.
+        print(f"{args.result} absent; telemetry gate skipped")
+    else:
+        fresh = _load_result(args.result)
+        overhead = fresh["overhead_frac"]
+        print(
+            f"fresh run: {fresh['n_peers']} peers, {fresh['n_queries']} queries, "
+            f"disabled {fresh['disabled_s']:.3f}s, enabled {fresh['enabled_s']:.3f}s, "
+            f"overhead {overhead:+.2%}"
         )
 
-    baseline = _load_baseline(args.baseline)
-    if baseline is None:
-        print(f"no baseline in {args.baseline}; trend check skipped")
-    else:
-        base_overhead = baseline["overhead_frac"]
-        print(
-            f"baseline ({baseline.get('recorded_utc', 'undated')}): "
-            f"{baseline['n_peers']} peers, {baseline['n_queries']} queries, "
-            f"overhead {base_overhead:+.2%}"
-        )
-        if overhead > base_overhead + args.tolerance:
+        if overhead > args.max_overhead:
             failures.append(
-                f"overhead {overhead:.2%} regressed past baseline "
-                f"{base_overhead:.2%} + tolerance {args.tolerance:.0%}"
+                f"overhead {overhead:.2%} exceeds the absolute bar "
+                f"{args.max_overhead:.0%}"
             )
+
+        baseline = _load_baseline(args.baseline)
+        if baseline is None:
+            print(f"no baseline in {args.baseline}; trend check skipped")
+        else:
+            base_overhead = baseline["overhead_frac"]
+            print(
+                f"baseline ({baseline.get('recorded_utc', 'undated')}): "
+                f"{baseline['n_peers']} peers, {baseline['n_queries']} queries, "
+                f"overhead {base_overhead:+.2%}"
+            )
+            if overhead > base_overhead + args.tolerance:
+                failures.append(
+                    f"overhead {overhead:.2%} regressed past baseline "
+                    f"{base_overhead:.2%} + tolerance {args.tolerance:.0%}"
+                )
 
     if args.engine_result is not None:
         engine = _load_result(args.engine_result)
@@ -165,6 +211,18 @@ def main(argv=None) -> int:
                     f"engine {label} speedup {speedup:.2f}x below the "
                     f"absolute bar {bar:.2f}x"
                 )
+        # Both cells must carry the audited run fingerprint: a null field
+        # means the reference-vs-batched equivalence pair never ran for
+        # that cell, leaving its arm unpinned.
+        for label, cell in (("flooding", engine["flood"]), ("ASAP", engine["asap"])):
+            fp = cell.get("fingerprint")
+            if not fp:
+                failures.append(
+                    f"engine {label} cell recorded no run fingerprint "
+                    "(audited equivalence pair did not run)"
+                )
+            else:
+                print(f"engine {label} cell fingerprint {fp[:16]}...")
         engine_base = _load_baseline(args.engine_baseline)
         if engine_base is None:
             print(
@@ -198,6 +256,48 @@ def main(argv=None) -> int:
                         f"engine {label} speedup {speedup:.2f}x regressed "
                         f"below {floor:.0%} of baseline {base:.2f}x"
                     )
+
+    if args.scaleup_result is not None:
+        scaleup = _load_result(args.scaleup_result)
+        rss_bar_mb = args.max_scaleup_rss_gb * 1024.0
+        base_entry = _load_baseline(args.scaleup_baseline)
+        base_cells = {}
+        if base_entry is not None:
+            base_cells = {
+                (
+                    c["algorithm"], c["n_peers"], c.get("cache_capacity")
+                ): c["peak_rss_mb"]
+                for c in base_entry.get("cells", [])
+            }
+        for cell in scaleup["cells"]:
+            key = (
+                cell["algorithm"], cell["n_peers"], cell.get("cache_capacity")
+            )
+            rss = cell["peak_rss_mb"]
+            label = f"{cell['algorithm']}/{cell['n_peers']}"
+            print(
+                f"scaleup {label}: peak RSS {rss:.0f} MB, "
+                f"wall {cell['wall_s']:.1f}s"
+            )
+            if rss > rss_bar_mb:
+                failures.append(
+                    f"scaleup {label} peak RSS {rss:.0f} MB exceeds the "
+                    f"{args.max_scaleup_rss_gb:.1f} GB bar"
+                )
+            base_rss = base_cells.get(key)
+            if base_rss is not None and rss > base_rss * (
+                1.0 + args.scaleup_tolerance
+            ):
+                failures.append(
+                    f"scaleup {label} peak RSS {rss:.0f} MB regressed past "
+                    f"baseline {base_rss:.0f} MB + "
+                    f"{args.scaleup_tolerance:.0%}"
+                )
+        if base_entry is None:
+            print(
+                f"no baseline in {args.scaleup_baseline}; "
+                "scale-up trend check skipped"
+            )
 
     if failures:
         for f in failures:

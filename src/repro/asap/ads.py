@@ -45,7 +45,7 @@ AD_CATEGORY = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ad:
     """One advertisement: (I, C, T, v) plus wire-size bookkeeping."""
 

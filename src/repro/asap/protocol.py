@@ -39,9 +39,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.asap.ads import Ad, AdType
+from repro.asap.arena import AdsArena, ArenaRepository, CacherIndex
 from repro.asap.delivery import AdForwarder, make_forwarder
 from repro.asap.repository import AdsRepository, CacheEntry
 from repro.asap.store import SourceFilterStore
+from repro.workload.interests import InterestState
 from repro.search.base import MessageSizes, SearchAlgorithm, SearchOutcome
 from repro.sim import kernels
 from repro.sim.engine import PeriodicTimer, SimulationEngine
@@ -121,16 +123,36 @@ class AsapSearch(SearchAlgorithm):
         self.name = _SCHEME_NAMES[self.params.forwarder]
         self.interests = interests
         self.store = SourceFilterStore(overlay.n, content)
-        self.repos: List[AdsRepository] = [
-            AdsRepository(
-                owner=i,
-                interests=interests[i],
-                store=self.store,
-                capacity=self.params.cache_capacity,
-            )
-            for i in range(overlay.n)
-        ]
-        self.cachers: Dict[int, Set[int]] = defaultdict(set)
+        # Storage backend: pooled struct-of-arrays by default; the object-
+        # backed AdsRepository when constructed under
+        # ``kernels.reference_mode()`` -- the differential oracle the SoA
+        # path is fingerprint-checked against.  Both implement the same
+        # contract, so every path below is backend-agnostic.
+        if kernels.REFERENCE_ONLY:
+            self.arena: Optional[AdsArena] = None
+            self.repos: List[AdsRepository] = [
+                AdsRepository(
+                    owner=i,
+                    interests=interests[i],
+                    store=self.store,
+                    capacity=self.params.cache_capacity,
+                )
+                for i in range(overlay.n)
+            ]
+            self.cachers: Dict[int, Set[int]] = defaultdict(set)
+        else:
+            self.arena = AdsArena(initial_rows=4 * max(overlay.n, 16))
+            self.repos = [
+                ArenaRepository(
+                    owner=i,
+                    interests=interests[i],
+                    store=self.store,
+                    arena=self.arena,
+                    capacity=self.params.cache_capacity,
+                )
+                for i in range(overlay.n)
+            ]
+            self.cachers = CacherIndex(overlay.n)
         self.forwarder: AdForwarder = make_forwarder(
             self.params.forwarder,
             overlay,
@@ -145,9 +167,11 @@ class AsapSearch(SearchAlgorithm):
         self._timers: Dict[int, PeriodicTimer] = {}
         self._advertised: Set[int] = set()  # sources that ever sent a full ad
         # Interest-mask caches for the batched dissemination path.  Node
-        # interests are fixed at construction, so a boolean membership
-        # column per topic -- and its OR over an ad's topic set -- can be
-        # built once and reused for every delivery of that topic set.
+        # interests are fixed at construction, so the (n, n_classes) CSR-
+        # native interest matrix -- and the OR of its columns over an ad's
+        # topic set -- is built once and reused for every delivery of that
+        # topic set.
+        self._interest_state = InterestState(interests)
         self._topic_members: Dict[int, np.ndarray] = {}
         self._interest_masks: Dict[frozenset, np.ndarray] = {}
         self._interest_sets: Dict[frozenset, frozenset] = {}
@@ -178,11 +202,7 @@ class AsapSearch(SearchAlgorithm):
     def _topic_mask(self, topic: int) -> np.ndarray:
         mask = self._topic_members.get(topic)
         if mask is None:
-            mask = np.fromiter(
-                (topic in s for s in self.interests),
-                np.bool_,
-                len(self.interests),
-            )
+            mask = self._interest_state.members(topic)
             self._topic_members[topic] = mask
         return mask
 
@@ -225,7 +245,10 @@ class AsapSearch(SearchAlgorithm):
         one-``accept``-per-receiver loop as the differential oracle
         (:func:`repro.sim.kernels.reference_mode` routes here to it).
         """
-        if kernels.REFERENCE_ONLY:
+        if kernels.REFERENCE_ONLY or self.arena is None:
+            # Reference mode, or an object-backed instance invoked outside
+            # it: the per-receiver ``accept`` loop is the implementation
+            # for the object backend.
             self._disseminate_reference(ad, now, budget=budget)
             return
         report = self.forwarder.deliver(ad, now, budget=budget)
@@ -234,6 +257,13 @@ class AsapSearch(SearchAlgorithm):
         cachers_src = self.cachers[src]
         ad_version = ad.version
         ad_topics = ad.topics
+        # The receiver loops below are ``store_entry``/entry-proxy
+        # operations inlined against the pooled arrays (one topic-set
+        # interning per delivery, no per-receiver proxy objects) --
+        # value-identical, just without the dispatch.  Array handles are
+        # hoisted per branch, after any ``reserve`` that could grow them.
+        arena = self.arena
+        code = arena.intern_topics(ad_topics)
         # Invariant across the receiver loop: repairs read the store but
         # nothing below writes it, and churn never interleaves mid-event.
         behind_after = ad_version < self.store.version(src)
@@ -241,15 +271,17 @@ class AsapSearch(SearchAlgorithm):
         repair_plan = None
         if ad.ad_type is AdType.FULL:
             interested = self._interest_mask(ad_topics)
-            if not behind_after and self._no_capacity and report.visited:
-                # Eviction-free, repair-free fast path (fresh full ad, the
-                # overwhelmingly common delivery): the only receivers that
-                # change state are the interested nodes plus existing
-                # holders (holders are always members of ``cachers[src]``
-                # -- every entry store/remove updates it).  Per-receiver
-                # effects are value-identical and order-independent, so the
-                # loop runs over the vectorised interest gather instead of
-                # the whole visited set.
+            if not behind_after and report.visited:
+                # Repair-free fast path (fresh full ad, the overwhelmingly
+                # common delivery): the only receivers that change state
+                # are the interested nodes plus existing holders (holders
+                # are always members of ``cachers[src]`` -- every entry
+                # store/remove updates it).  Per-receiver effects --
+                # including capped-cache evictions, which touch only the
+                # receiver's own repo and the victims' cacher bits -- are
+                # value-identical and order-independent, so the loop runs
+                # over the vectorised interest gather instead of the whole
+                # visited set.
                 varr = report.visited_arr
                 if varr is None:
                     varr = np.fromiter(
@@ -258,11 +290,12 @@ class AsapSearch(SearchAlgorithm):
                 uninterested_holders = cachers_src.difference(
                     self._interest_set(ad_topics)
                 )
-                sel = varr[interested[varr]]
-                # Walk-based deliveries can revisit the source; drop it
-                # here so the loop below needs no per-node guard (sources
-                # never cache themselves).
-                receivers = sel[sel != src].tolist()
+                # Walk-based deliveries can revisit the source; the kernel
+                # gather drops it so the loop below needs no per-node guard
+                # (sources never cache themselves).
+                receivers = kernels.interested_receivers(
+                    varr, interested, exclude=src
+                ).tolist()
                 if uninterested_holders:
                     visited_fs = report.visited
                     receivers += [
@@ -270,24 +303,35 @@ class AsapSearch(SearchAlgorithm):
                         for node in uninterested_holders
                         if node in visited_fs
                     ]
+                # Reserve the worst-case alloc burst up front so ``_grow``
+                # cannot swap the arrays out from under the hoisted handles.
+                arena.reserve(len(receivers))
+                a_version = arena.version
+                a_topics_code = arena.topics_code
+                a_cached_at = arena.cached_at
+                no_capacity = self._no_capacity
+                cachers = self.cachers
                 for node in receivers:
                     repo = repos[node]
-                    entry = repo.entries.get(src)
-                    if entry is None:
-                        repo.entries[src] = CacheEntry(
-                            source=src,
-                            version=ad_version,
-                            topics=ad_topics,
-                            cached_at=now,
-                        )
-                    else:
-                        # Replacing the entry's fields in place is
-                        # value-identical to storing a fresh CacheEntry.
-                        entry.version = ad_version
-                        entry.topics = ad_topics
-                        entry.cached_at = now
-                    if repo.behind:
-                        repo.behind.discard(src)
+                    slot = repo._slot
+                    row = slot.get(src)
+                    if row is None:
+                        row = arena.alloc()
+                        slot[src] = row
+                        if not no_capacity:
+                            repo._order_append(src, row)
+                    # Unconditional overwrite: storing a fresh entry and
+                    # replacing an existing entry's fields in place are
+                    # value-identical.
+                    a_version[row] = ad_version
+                    a_topics_code[row] = code
+                    a_cached_at[row] = now
+                    behind = repo.behind
+                    if behind:
+                        behind.discard(src)
+                    if not no_capacity and len(slot) > repo.capacity:
+                        for ev in repo._evict(protect=src):
+                            cachers[ev].discard(node)
                 cachers_src.update(receivers)
             else:
                 for node in report.visited:
@@ -296,12 +340,7 @@ class AsapSearch(SearchAlgorithm):
                     repo = repos[node]
                     if src not in repo.entries and not interested[node]:
                         continue
-                    repo.entries[src] = CacheEntry(
-                        source=src,
-                        version=ad_version,
-                        topics=ad_topics,
-                        cached_at=now,
-                    )
+                    repo.store_entry(src, ad_version, ad_topics, now)
                     if behind_after:
                         repo.behind.add(src)
                     else:
@@ -316,6 +355,12 @@ class AsapSearch(SearchAlgorithm):
                         self._repair_entry(node, src, now, plan=repair_plan)
         else:
             is_patch = ad.ad_type is AdType.PATCH
+            # No allocations happen in this branch (patches/refreshes only
+            # mutate existing rows; repair pulls reuse the row in place),
+            # so the handles stay valid for the whole loop.
+            a_version = arena.version
+            a_topics_code = arena.topics_code
+            a_cached_at = arena.cached_at
             for node in report.visited:
                 if node not in cachers_src:
                     # Only holders react to patches/refreshes, and every
@@ -324,26 +369,27 @@ class AsapSearch(SearchAlgorithm):
                     # uninterested majority of the flood's receivers.
                     continue
                 repo = repos[node]
-                entry = repo.entries.get(src)
-                if entry is None:
+                row = repo._slot.get(src)
+                if row is None:
                     # No base entry: patches and refreshes are no-ops (and
                     # the source never caches itself).
                     continue
                 if is_patch:
-                    if ad_version == entry.version + 1:
-                        entry.version = ad_version
-                        entry.topics = ad_topics
-                        entry.cached_at = now
+                    held = a_version[row]
+                    if ad_version == held + 1:
+                        a_version[row] = ad_version
+                        a_topics_code[row] = code
+                        a_cached_at[row] = now
                         if behind_after:
                             repo.behind.add(src)
                         else:
                             repo.behind.discard(src)
-                    elif ad_version > entry.version:
+                    elif ad_version > held:
                         repo.behind.add(src)
-                        entry.cached_at = now
+                        a_cached_at[row] = now
                 else:  # REFRESH: renew recency, detect missed patches
-                    entry.cached_at = now
-                    if ad_version > entry.version:
+                    a_cached_at[row] = now
+                    if ad_version > a_version[row]:
                         repo.behind.add(src)
                 cachers_src.add(node)
                 if live_src and src in repo.behind:
@@ -514,9 +560,10 @@ class AsapSearch(SearchAlgorithm):
         """
         self._engine = engine
         rng = self.rng
-        for node in range(self.overlay.n):
-            if not self.overlay.is_live(node):
-                continue
+        # One vectorised live gather instead of n is_live probes; the
+        # ascending order matches the range loop it replaces, so the rng
+        # draw sequence -- and every jittered schedule -- is unchanged.
+        for node in self.overlay.live_nodes().tolist():
             if self.store.is_sharer(node):
                 at = start + float(rng.random()) * max(0.6 * duration, 1e-9)
                 engine.schedule_at(
@@ -646,19 +693,27 @@ class AsapSearch(SearchAlgorithm):
         is memoized per set-bit count.  ``_ads_request_reference`` keeps
         the method-call-per-ad loop as the differential oracle.
         """
-        if kernels.REFERENCE_ONLY:
+        if kernels.REFERENCE_ONLY or self.arena is None:
             return self._ads_request_reference(
                 node, now, exclude=exclude, positions=positions
             )
         exclude = exclude or set()
         repo = self.repos[node]
         repos = self.repos
-        repo_entries = repo.entries
         repo_interests = repo.interests
         repo_behind = repo.behind
         repo_capacity = repo.capacity
         store = self.store
         store_version = store._version
+        # Hoisted arena handles: the novel-ad merge below reads and writes
+        # the pooled arrays directly (no per-ad entry proxies, topic codes
+        # copied neighbour-row -> own-row without re-interning).  Array
+        # handles are re-fetched per neighbour after reserving the
+        # worst-case alloc burst, since ``_grow`` replaces the arrays.
+        arena = self.arena
+        topics_list = arena._topics_list
+        arena_alloc = arena.alloc
+        repo_slot = repo._slot
         cachers = self.cachers
         ad_header = self.sizes.ad_header
         filter_bits = store.hasher.m
@@ -684,37 +739,46 @@ class AsapSearch(SearchAlgorithm):
             ledger.record(
                 now, TrafficCategory.ADS_REQUEST, request_size, messages=1
             )
-            nbr_entries = repos[nbr].entries
+            nbr_slot = repos[nbr]._slot
             if positions is None:
-                offered = nbr_entries.keys() - repo_entries.keys()
+                offered = nbr_slot.keys() - repo_slot.keys()
             else:
                 offered = set(repos[nbr].lookup(positions, current_match))
-                offered -= repo_entries.keys()
+                offered -= repo_slot.keys()
             if exclude:
                 offered -= exclude
             offered.discard(node)
             novel = sorted(offered)
+            arena.reserve(len(novel))
+            a_version = arena.version
+            a_topics_code = arena.topics_code
+            a_cached_at = arena.cached_at
             reply_bytes = float(ad_header)  # reply envelope
             rtt = 2.0 * one_way
             for s in novel:
-                entry = nbr_entries[s]
-                topics = entry.topics
+                row = nbr_slot[s]
+                code = a_topics_code[row]
+                topics = topics_list[code]
                 if repo_interests.isdisjoint(topics):
                     continue
                 # accept_snapshot, inlined: ``s != node`` and interest
                 # already hold, and ``s`` is novel so there is no stale
                 # same-version entry to renew unless a previous neighbour
                 # in this very loop stored one.
-                version = entry.version
-                mine = repo_entries.get(s)
-                if mine is not None and mine.version >= version:
-                    mine.cached_at = now
+                version = a_version[row]
+                mine_row = repo_slot.get(s)
+                if mine_row is not None and a_version[mine_row] >= version:
+                    a_cached_at[mine_row] = now
                     stored = False
                     evicted: List[int] = []
                 else:
-                    repo_entries[s] = CacheEntry(
-                        source=s, version=version, topics=topics, cached_at=now
-                    )
+                    if mine_row is None:
+                        repo_slot[s] = mine_row = arena_alloc()
+                        if repo_capacity is not None:
+                            repo._order_append(s, mine_row)
+                    a_version[mine_row] = version
+                    a_topics_code[mine_row] = code
+                    a_cached_at[mine_row] = now
                     if version < store_version[s]:
                         repo_behind.add(s)
                     else:

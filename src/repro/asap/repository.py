@@ -33,9 +33,15 @@ from repro.asap.store import SourceFilterStore
 __all__ = ["AdsRepository", "CacheEntry"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
-    """One cached ad: which source, at which filter version, which topics."""
+    """One cached ad: which source, at which filter version, which topics.
+
+    Slotted: a per-(peer, source) hot object -- dropping the ``__dict__``
+    saves ~104 bytes per cached ad (see PERFORMANCE.md).  The pooled-array
+    backend (:mod:`repro.asap.arena`) goes further and stores these fields
+    in shared numpy arrays.
+    """
 
     source: int
     version: int
@@ -78,6 +84,19 @@ class AdsRepository:
     def interested_in(self, topics: FrozenSet[int]) -> bool:
         """Nonempty intersection between ad topics and owner interests."""
         return bool(self.interests & topics)
+
+    def store_entry(
+        self, source: int, version: int, topics: FrozenSet[int], now: float
+    ) -> None:
+        """Create or overwrite the entry for ``source`` (no behind logic).
+
+        The storage primitive shared with :class:`~repro.asap.arena.
+        ArenaRepository`: the batched protocol paths call it so both
+        backends see the identical operation sequence.
+        """
+        self.entries[source] = CacheEntry(
+            source=source, version=version, topics=topics, cached_at=now
+        )
 
     # --------------------------------------------------------------- accept
     def accept(self, ad: Ad, now: float) -> Tuple[bool, List[int]]:

@@ -29,13 +29,26 @@ from repro.asap.ads import Ad, AdType
 from repro.bloom.filter import CountingBloomFilter
 from repro.bloom.hashing import BloomHasher, PAPER_K, PAPER_M
 from repro.bloom.matrix import FilterMatrix
+from repro.sim import kernels
 from repro.workload.content import ContentIndex, Document
 
 __all__ = ["SourceFilterStore"]
 
 
 class SourceFilterStore:
-    """Counting filters, versions, patch history and topics for all sources."""
+    """Counting filters, versions, patch history and topics for all sources.
+
+    The packed :class:`FilterMatrix` is the *authoritative* current-bitmap
+    store: bootstrap scatters each source's keyword positions straight into
+    its row and the per-source set-bit counts live in one int64 array.  The
+    counting filter -- 4 bytes x m = ~46 KB per source, the dominant
+    per-source cost at scale -- materialises lazily, copy-on-write style:
+    only when a source's content actually churns is its counting copy built
+    (by replaying the recorded bootstrap documents, an order-independent
+    sum that lands on bit-identical counts), then kept and updated eagerly.
+    Sources that never churn -- the vast majority of a run -- stay as one
+    packed matrix row plus a count.
+    """
 
     def __init__(
         self,
@@ -48,6 +61,11 @@ class SourceFilterStore:
         self.content = content
         self.matrix = FilterMatrix(n_nodes, self.hasher)
         self._counting: Dict[int, CountingBloomFilter] = {}
+        self._n_set = np.zeros(n_nodes, dtype=np.int64)
+        # Initial doc placement per source: the replay source for lazy
+        # counting-filter materialisation (documents are immutable, so the
+        # ids pin the exact t=0 keyword multiset).
+        self._base_docs: Dict[int, Tuple[int, ...]] = {}
         self._version = np.zeros(n_nodes, dtype=np.int64)
         # source -> [(version, frozenset(changed positions)), ...] ascending.
         self._patches: Dict[int, List[Tuple[int, FrozenSet[int]]]] = {}
@@ -55,20 +73,42 @@ class SourceFilterStore:
         self._bootstrap()
 
     def _bootstrap(self) -> None:
-        """Build filters and topics from the initial content placement."""
+        """Build filter rows and topics from the initial content placement."""
+        positions_of = self.hasher.positions
         for node in range(self.n_nodes):
             docs = self.content.docs_on(node)
             if not docs:
                 continue
-            cf = CountingBloomFilter(self.hasher)
             topics: Set[int] = set()
+            pos: Set[int] = set()
             for doc_id in docs:
                 doc = self.content.document(doc_id)
-                cf.add_all(doc.keywords)
+                for term in doc.keywords:
+                    pos.update(positions_of(term))
                 topics.add(doc.class_id)
-            self._counting[node] = cf
+            self._base_docs[node] = tuple(docs)
             self._topics[node] = topics
-            self.matrix.set_row(node, cf.bitmap_bits())
+            self._n_set[node] = len(pos)
+            self.matrix.set_row_positions(
+                node, np.fromiter(pos, dtype=np.int64, count=len(pos))
+            )
+
+    def _cf(self, node: int) -> CountingBloomFilter:
+        """The source's counting filter, materialised on first churn.
+
+        Replaying the bootstrap documents reproduces the eager filter
+        exactly: per-bit counts are sums of insertions, so any replay order
+        gives identical counts (and therefore identical bitmaps and
+        diffs).  Post-materialisation changes apply eagerly, so this runs
+        at most once per churned source.
+        """
+        cf = self._counting.get(node)
+        if cf is None:
+            cf = CountingBloomFilter(self.hasher)
+            for doc_id in self._base_docs.get(node, ()):
+                cf.add_all(self.content.document(doc_id).keywords)
+            self._counting[node] = cf
+        return cf
 
     # --------------------------------------------------------------- queries
     def version(self, source: int) -> int:
@@ -78,13 +118,11 @@ class SourceFilterStore:
         return frozenset(self._topics.get(source, ()))
 
     def n_set_bits(self, source: int) -> int:
-        cf = self._counting.get(source)
-        return cf.n_set if cf is not None else 0
+        return int(self._n_set[source])
 
     def is_sharer(self, source: int) -> bool:
         """Free-riders have a null filter and nothing to advertise."""
-        cf = self._counting.get(source)
-        return cf is not None and cf.n_set > 0
+        return bool(self._n_set[source] > 0)
 
     def patch_history(self, source: int) -> List[Tuple[int, FrozenSet[int]]]:
         return list(self._patches.get(source, ()))
@@ -94,7 +132,11 @@ class SourceFilterStore:
         return self.matrix.match_all(positions)
 
     def match_at_version(
-        self, source: int, version: int, positions: Sequence[int]
+        self,
+        source: int,
+        version: int,
+        positions: Sequence[int],
+        current: Optional[bool] = None,
     ) -> bool:
         """Does the filter as of ``version`` contain all ``positions``?
 
@@ -109,13 +151,30 @@ class SourceFilterStore:
         for v, changed in self._patches.get(source, ()):
             if v > version:
                 flipped_odd.symmetric_difference_update(changed)
-        for pos in positions:
-            bit = self.matrix.get_bit(source, int(pos))
-            if int(pos) in flipped_odd:
-                bit = not bit
-            if not bit:
-                return False
-        return True
+        if current is not None and (
+            not flipped_odd or flipped_odd.isdisjoint(positions)
+        ):
+            # No later patch flips any queried position, so the historical
+            # bits at ``positions`` equal the current ones -- the caller's
+            # precomputed current-filter answer is the exact result.
+            return bool(current)
+        if kernels.REFERENCE_ONLY:
+            # Reference path: per-position bit probes (differential oracle).
+            for pos in positions:
+                bit = self.matrix.get_bit(source, int(pos))
+                if int(pos) in flipped_odd:
+                    bit = not bit
+                if not bit:
+                    return False
+            return True
+        pos = np.asarray(positions, dtype=np.int64)
+        bits = self.matrix.get_bits(source, pos)
+        if flipped_odd:
+            flip = np.fromiter(
+                (int(p) in flipped_odd for p in pos), dtype=bool, count=len(pos)
+            )
+            bits = bits ^ flip
+        return bool(bits.all())
 
     # -------------------------------------------------------------- ad minting
     def make_full_ad(self, source: int) -> Optional[Ad]:
@@ -151,10 +210,8 @@ class SourceFilterStore:
         did not change (e.g. removing a document whose keywords all remain
         covered by other documents -- counting filter semantics).
         """
-        cf = self._counting.get(node)
-        if cf is None:
-            cf = CountingBloomFilter(self.hasher)
-            self._counting[node] = cf
+        cf = self._cf(node)
+        if node not in self._topics:
             self._topics[node] = set()
         before = cf.bitmap_bits().copy()
         if added:
@@ -162,6 +219,7 @@ class SourceFilterStore:
         else:
             cf.remove_all(doc.keywords)
         changed = cf.diff_positions(before)
+        self._n_set[node] = cf.n_set
         # Topics track the node's current content classes exactly.
         self._topics[node] = set(self.content.node_classes(node))
         if len(changed) == 0:

@@ -47,6 +47,24 @@ class FilterMatrix:
             np.asarray(bits, dtype=np.uint8), bitorder="little"
         )
 
+    def set_row_positions(self, source: int, positions: Sequence[int]) -> None:
+        """Replace ``source``'s row with exactly the given set positions.
+
+        The vectorised *add* primitive: with the matrix as the authoritative
+        current-filter store, bootstrapping a source is one scatter of its
+        keyword positions -- no per-source filter object, no m-length
+        boolean intermediate.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        self._rows[source] = 0
+        if len(pos) == 0:
+            return
+        if pos.min() < 0 or pos.max() >= self.hasher.m:
+            raise ValueError("bit position out of range")
+        np.bitwise_or.at(
+            self._rows[source], pos >> 3, (1 << (pos & 7)).astype(np.uint8)
+        )
+
     def flip_bits(self, source: int, positions: Sequence[int]) -> None:
         """Flip the given bit positions in ``source``'s row (patch apply)."""
         pos = np.asarray(positions, dtype=np.int64)
@@ -68,6 +86,24 @@ class FilterMatrix:
         if not 0 <= position < self.hasher.m:
             raise ValueError("bit position out of range")
         return bool((self._rows[source, position >> 3] >> (position & 7)) & 1)
+
+    def get_bits(self, source: int, positions: np.ndarray) -> np.ndarray:
+        """Boolean values of ``positions`` in ``source``'s row (one gather).
+
+        The vectorised *contains* primitive; pairs with the patch-history
+        parity flip in :meth:`repro.asap.store.SourceFilterStore.
+        match_at_version` to evaluate a row at any historical version.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if len(pos) == 0:
+            return np.ones(0, dtype=bool)
+        if pos.min() < 0 or pos.max() >= self.hasher.m:
+            raise ValueError("bit position out of range")
+        return (self._rows[source, pos >> 3] >> (pos & 7).astype(np.uint8)) & 1 != 0
+
+    def contains_all(self, source: int, positions: np.ndarray) -> bool:
+        """Does ``source``'s current row have every position set?"""
+        return bool(self.get_bits(source, positions).all())
 
     def row_bits(self, source: int) -> np.ndarray:
         """Unpacked boolean bit array for one source."""

@@ -195,6 +195,29 @@ def build_report(
                 "",
             ]
 
+        from repro.obs.profile import peak_rss_mb
+
+        memory_lines = [f"  peak RSS (sweep process)  {peak_rss_mb():>10.1f} MB"]
+        focus_profile = getattr(focus, "profile", None)
+        if focus_profile is not None and focus_profile.arena:
+            a = focus_profile.arena
+            memory_lines += [
+                f"  arena rows live/allocated {a.get('rows_live', 0):>10} / "
+                f"{a.get('rows_allocated', 0)}",
+                f"  arena free-list depth     {a.get('free_list_depth', 0):>10}",
+                f"  arena pool size           "
+                f"{a.get('pool_bytes', 0) / 1e6:>10.1f} MB",
+            ]
+        sections += [
+            "Memory (struct-of-arrays peer state; arena rows are pooled "
+            "(peer, source) cache pairs):",
+            "",
+            "```",
+            *memory_lines,
+            "```",
+            "",
+        ]
+
     if scale.audit:
         log("audit")
         sections += ["## Audit", ""]

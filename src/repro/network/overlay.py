@@ -111,6 +111,7 @@ class Overlay:
         self._live_csr_cache: Optional[Tuple[int, Tuple[np.ndarray, ...]]] = None
         self._walk_csr_cache: Optional[Tuple[int, WalkCsr]] = None
         self._full_sorted_cache: Optional[Tuple[np.ndarray, ...]] = None
+        self._live_nodes_cache: Optional[Tuple[int, np.ndarray]] = None
 
     # ------------------------------------------------------------- liveness
     @property
@@ -129,7 +130,17 @@ class Overlay:
         return int(np.count_nonzero(self._live))
 
     def live_nodes(self) -> np.ndarray:
-        return np.nonzero(self._live)[0]
+        """Ascending live node ids, cached per churn epoch (do not mutate).
+
+        Large-N callers (ASAP warm-up scheduling, scale benches) iterate
+        this instead of probing :meth:`is_live` n times.
+        """
+        cached = self._live_nodes_cache
+        if cached is not None and cached[0] == self.epoch:
+            return cached[1]
+        nodes = np.nonzero(self._live)[0]
+        self._live_nodes_cache = (self.epoch, nodes)
+        return nodes
 
     def join(self, node: int) -> None:
         """Bring ``node`` online (no-op error if already live)."""

@@ -19,6 +19,7 @@ table or a dict for the metrics exporter.
 
 from __future__ import annotations
 
+import resource
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional
@@ -30,8 +31,19 @@ __all__ = [
     "Profiler",
     "RunProfile",
     "merge_profiles",
+    "peak_rss_mb",
     "subsystem_of",
 ]
+
+
+def peak_rss_mb() -> float:
+    """This process's peak resident set size in MB (``getrusage``).
+
+    Linux reports ``ru_maxrss`` in KB; the value is a high-water mark, so
+    in a sweep it reflects the largest cell run so far, not the current
+    one in isolation.
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 _DIGITS = "0123456789"
 
@@ -80,6 +92,11 @@ class RunProfile:
     engine_pending_live: int = 0
     sim_end_s: float = 0.0
     scheduler: str = "heap"
+    # Process peak RSS (MB) at finish() time and, for ASAP runs on the
+    # pooled struct-of-arrays backend, the arena utilisation snapshot
+    # (rows allocated / live / free-list depth / pool bytes ...).
+    peak_rss_mb: float = 0.0
+    arena: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -89,6 +106,8 @@ class RunProfile:
             "engine_pending_live": self.engine_pending_live,
             "sim_end_s": self.sim_end_s,
             "scheduler": self.scheduler,
+            "peak_rss_mb": self.peak_rss_mb,
+            "arena": dict(sorted(self.arena.items())),
             "subsystems": {k: v.to_dict() for k, v in sorted(self.subsystems.items())},
             "phases": {k: v.to_dict() for k, v in sorted(self.phases.items())},
         }
@@ -104,6 +123,17 @@ class RunProfile:
             f"{self.engine_pending_live} live pending at finish "
             f"({self.scheduler} scheduler)"
         )
+        if self.peak_rss_mb > 0:
+            lines.append(f"  memory: peak RSS {self.peak_rss_mb:.1f} MB")
+        if self.arena:
+            a = self.arena
+            lines.append(
+                f"  ads arena: {a.get('rows_live', 0)} live rows of "
+                f"{a.get('rows_allocated', 0)} allocated "
+                f"(free-list depth {a.get('free_list_depth', 0)}, pool "
+                f"{a.get('pool_bytes', 0) / 1e6:.1f} MB, "
+                f"{a.get('topic_sets_interned', 0)} topic sets interned)"
+            )
         for title, buckets in (("phase", self.phases), ("subsystem", self.subsystems)):
             if not buckets:
                 continue
@@ -142,6 +172,14 @@ def merge_profiles(profiles: Iterable[RunProfile]) -> RunProfile:
         merged.engine_events += profile.engine_events
         merged.engine_pending_live += profile.engine_pending_live
         merged.sim_end_s = max(merged.sim_end_s, profile.sim_end_s)
+        # Peak RSS is a per-process high-water mark: the sweep-level figure
+        # is the worst cell, not a sum.  Arena stats keep the largest
+        # snapshot whole (mixing rows from different pools is meaningless).
+        merged.peak_rss_mb = max(merged.peak_rss_mb, profile.peak_rss_mb)
+        if profile.arena and profile.arena.get(
+            "rows_allocated", 0
+        ) >= merged.arena.get("rows_allocated", 0):
+            merged.arena = dict(profile.arena)
         for buckets, add in (
             (merged.subsystems, profile.subsystems),
             (merged.phases, profile.phases),

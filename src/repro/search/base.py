@@ -54,7 +54,7 @@ class MessageSizes:
                 raise ValueError(f"message size {name} must be positive")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SearchOutcome:
     """What one search request cost and returned.
 

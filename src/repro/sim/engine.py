@@ -55,7 +55,7 @@ class SimulationError(RuntimeError):
     """Raised on kernel misuse (scheduling into the past, running twice...)."""
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 

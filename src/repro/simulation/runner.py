@@ -27,7 +27,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.asap.protocol import AsapParams, AsapSearch
-from repro.obs.profile import Profiler
+from repro.obs.profile import Profiler, peak_rss_mb
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.network.overlay import Overlay
@@ -295,6 +295,10 @@ def run_experiment(
     run_profile = None
     if profiler is not None:
         run_profile = profiler.finish(engine)
+        run_profile.peak_rss_mb = peak_rss_mb()
+        arena = getattr(algorithm, "arena", None)
+        if arena is not None:
+            run_profile.arena = arena.stats()
         if progress is not None:
             progress(run_profile.format_table())
     diagnostics = None

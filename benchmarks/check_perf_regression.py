@@ -29,6 +29,17 @@ vs ``BENCH_SCALEUP.json``:
    peak RSS by more than ``--scaleup-tolerance`` (default 0.25
    multiplicative headroom).
 
+**Probe gate** (runs when ``--probes-result`` is given) -- fresh
+``benchmarks/results/probe_overhead.json`` (written by
+``bench_probe_overhead.py``) vs ``BENCH_PROBES.json``:
+
+1. **absolute bar** -- the fresh probes-enabled overhead fraction must
+   stay under ``--max-probe-overhead`` (default 0.10, the acceptance
+   budget for state snapshots at the default 60 s cadence);
+2. **trend bar** -- the fresh overhead fraction must not exceed the
+   committed baseline by more than ``--probes-tolerance`` (default 0.05
+   absolute).
+
 **Engine gate** (runs when ``--engine-result`` is given) -- fresh
 ``benchmarks/results/engine_dispatch.json`` (written by
 ``bench_engine_dispatch.py``) vs ``BENCH_ENGINE.json``:
@@ -103,6 +114,32 @@ def main(argv=None) -> int:
         "fraction (default 0.02)",
     )
     parser.add_argument(
+        "--probes-result",
+        type=Path,
+        default=None,
+        help="fresh probe-overhead benchmark output; enables the probe gate",
+    )
+    parser.add_argument(
+        "--probes-baseline",
+        type=Path,
+        default=Path("BENCH_PROBES.json"),
+        help="committed probe trajectory file (last entry is the baseline)",
+    )
+    parser.add_argument(
+        "--max-probe-overhead",
+        type=float,
+        default=0.10,
+        help="absolute bar on the probes-enabled overhead fraction "
+        "(default 0.10)",
+    )
+    parser.add_argument(
+        "--probes-tolerance",
+        type=float,
+        default=0.05,
+        help="allowed absolute increase over the baseline probe overhead "
+        "fraction (default 0.05)",
+    )
+    parser.add_argument(
         "--engine-result",
         type=Path,
         default=None,
@@ -162,7 +199,9 @@ def main(argv=None) -> int:
 
     failures = []
     other_gates = (
-        args.engine_result is not None or args.scaleup_result is not None
+        args.engine_result is not None
+        or args.scaleup_result is not None
+        or args.probes_result is not None
     )
     if other_gates and not args.result.exists():
         # A job running only the engine/scale-up gates (e.g. the scale-up
@@ -197,6 +236,42 @@ def main(argv=None) -> int:
                 failures.append(
                     f"overhead {overhead:.2%} regressed past baseline "
                     f"{base_overhead:.2%} + tolerance {args.tolerance:.0%}"
+                )
+
+    if args.probes_result is not None:
+        probes = _load_result(args.probes_result)
+        probe_overhead = probes["overhead_frac"]
+        print(
+            f"probes run: {probes['n_peers']} peers, "
+            f"{probes['n_queries']} queries, {probes['ticks']} ticks, "
+            f"disabled {probes['disabled_s']:.3f}s, "
+            f"enabled {probes['enabled_s']:.3f}s, "
+            f"overhead {probe_overhead:+.2%}"
+        )
+        if probe_overhead > args.max_probe_overhead:
+            failures.append(
+                f"probe overhead {probe_overhead:.2%} exceeds the absolute "
+                f"bar {args.max_probe_overhead:.0%}"
+            )
+        probes_base = _load_baseline(args.probes_baseline)
+        if probes_base is None:
+            print(
+                f"no baseline in {args.probes_baseline}; "
+                "probe trend check skipped"
+            )
+        else:
+            base_overhead = probes_base["overhead_frac"]
+            print(
+                f"probes baseline ({probes_base.get('recorded_utc', 'undated')}): "
+                f"{probes_base['n_peers']} peers, "
+                f"{probes_base['n_queries']} queries, "
+                f"overhead {base_overhead:+.2%}"
+            )
+            if probe_overhead > base_overhead + args.probes_tolerance:
+                failures.append(
+                    f"probe overhead {probe_overhead:.2%} regressed past "
+                    f"baseline {base_overhead:.2%} + tolerance "
+                    f"{args.probes_tolerance:.0%}"
                 )
 
     if args.engine_result is not None:

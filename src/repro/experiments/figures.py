@@ -70,6 +70,10 @@ class ExperimentScale:
     # each RunResult then carries a mergeable TelemetrySummary -- the
     # trace-free path to the Fig. 9 per-window load view and hotspots.
     telemetry: bool = False
+    # Record protocol-state snapshots in every cell (repro.obs.probes):
+    # each RunResult then carries a mergeable ProbeSummary -- per-tick ad
+    # coverage, staleness and cache-health series.
+    probes: bool = False
     # Worker processes for grid population (1 = serial, 0 = all cores).
     jobs: int = 1
     # Engine event-queue implementation ("heap" or "calendar"); results
@@ -129,6 +133,7 @@ class ExperimentGrid:
                 profile=self.scale.profile,
                 audit=self.scale.audit,
                 telemetry=self.scale.telemetry,
+                probes=self.scale.probes,
             )
             self._results[key] = cached
         return cached
@@ -165,6 +170,7 @@ class ExperimentGrid:
             profile=self.scale.profile,
             audit=self.scale.audit,
             telemetry=self.scale.telemetry,
+            probes=self.scale.probes,
             live=live,
             progress=progress,
         )

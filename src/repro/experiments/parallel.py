@@ -102,6 +102,7 @@ def _run_cell(
     telemetry: bool = False,
     status_path: Optional[str] = None,
     status_fn: Optional[Callable[[Dict], None]] = None,
+    probes: bool = False,
 ) -> CellOutcome:
     """Worker body: run one cell, trading exceptions for a CellFailure.
 
@@ -132,6 +133,7 @@ def _run_cell(
                 profile=profile,
                 collect_diagnostics=collect_diagnostics,
                 telemetry=tel,
+                probes=probes,
             )
         from repro.obs.trace import Tracer
 
@@ -144,6 +146,7 @@ def _run_cell(
                 collect_diagnostics=collect_diagnostics,
                 audit=audit,
                 telemetry=tel,
+                probes=probes,
             )
         path = os.path.join(trace_dir, cell_trace_name(config))
         with open(path, "w") as fh:
@@ -155,6 +158,7 @@ def _run_cell(
                 collect_diagnostics=collect_diagnostics,
                 audit=audit,
                 telemetry=tel,
+                probes=probes,
             )
     except Exception as exc:
         return CellFailure(
@@ -180,6 +184,7 @@ def run_cells(
     audit: bool = False,
     trace_dir: Optional[str] = None,
     telemetry: bool = False,
+    probes: bool = False,
     live: Optional[Callable[[str], None]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[CellOutcome]:
@@ -198,7 +203,10 @@ def run_cells(
     ``telemetry=True`` collects streaming telemetry per cell; each result
     carries a :class:`~repro.obs.telemetry.TelemetrySummary` whose merge
     (in input order) is bit-identical whether the cells ran serially or
-    across workers.  ``live`` is an optional ``callable(str)`` receiving a
+    across workers.  ``probes=True`` does the same for protocol-state
+    snapshots (each result carries a
+    :class:`~repro.obs.probes.ProbeSummary`, same input-order merge
+    guarantee).  ``live`` is an optional ``callable(str)`` receiving a
     one-line status rendering (per-cell progress and current hotspots,
     streamed out of worker processes through per-cell snapshot files);
     it implies telemetry collection.
@@ -223,7 +231,7 @@ def run_cells(
                 )
             outcome = _run_cell(
                 config, profile, collect_diagnostics, audit, trace_dir,
-                telemetry, None, status_fn,
+                telemetry, None, status_fn, probes,
             )
             _log_outcome(log, i, len(configs), outcome)
             results.append(outcome)
@@ -248,6 +256,8 @@ def run_cells(
                     os.path.join(status_dir, f"cell{i}.json")
                     if status_dir is not None
                     else None,
+                    None,
+                    probes,
                 ): i
                 for i, config in enumerate(configs)
             }

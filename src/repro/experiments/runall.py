@@ -4,7 +4,8 @@ Usage::
 
     python -m repro.experiments.runall [--peers N] [--queries Q] [--seed S]
                                        [--jobs J] [--profile] [--telemetry]
-                                       [--live] [--scheduler heap|calendar]
+                                       [--probes] [--live]
+                                       [--scheduler heap|calendar]
                                        [--output report.md]
 
 Runs the full (algorithm x topology) grid once, renders all ten figures,
@@ -218,6 +219,64 @@ def build_report(
             "",
         ]
 
+    if scale.probes:
+        from repro.obs.probes import merge_probe_summaries
+
+        log("protocol state")
+        sections += ["## Protocol state", ""]
+        # The state-level view of the paper's pre-positioning claim: ad
+        # coverage, staleness and cache health over simulated time for the
+        # warmed-up ASAP(RW) system (repro.obs.probes).
+        focus = grid.result("asap_rw", "crawled")
+        if focus.probes is not None and focus.probes.ticks:
+            sections += [
+                "State snapshots for `asap_rw/crawled` (ad coverage, "
+                "staleness, cache health per probe tick):",
+                "",
+                "```",
+                focus.probes.format_state_table(max_rows=12),
+                "```",
+                "",
+            ]
+        rows = []
+        for algo in scale.algorithms:
+            probes = grid.result(algo, "crawled").probes
+            if probes is None:
+                continue
+            head = probes.headline()
+            if head["coverage_fraction"] is None:
+                continue
+            rows.append(
+                f"  {algo:<12} {head['coverage_fraction']:>8.1%} "
+                f"{head['replication_p50'] or 0.0:>9.1f} "
+                f"{head['age_p50_s'] or 0.0:>9.1f} "
+                f"{head['fp_mean'] or 0.0:>10.2e}"
+            )
+        if rows:
+            sections += [
+                "Final-tick state headline per ASAP variant on `crawled`:",
+                "",
+                "```",
+                f"  {'algorithm':<12} {'cover%':>8} {'repl p50':>9} "
+                f"{'age p50':>9} {'fp mean':>10}",
+                *rows,
+                "```",
+                "",
+            ]
+        merged = merge_probe_summaries(
+            grid.result(algo, topo).probes
+            for algo, topo in _report_cells(scale)
+        )
+        if merged is not None:
+            sections += [
+                "Sweep-wide probe summary (all cells merged, deterministic "
+                f"input-order merge; fingerprint `{merged.fingerprint()}`):",
+                "",
+                f"- cells: {merged.cells}, ticks: {len(merged.ticks)}, "
+                f"interval: {merged.interval_s:.0f}s",
+                "",
+            ]
+
     if scale.audit:
         log("audit")
         sections += ["## Audit", ""]
@@ -304,6 +363,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "telemetry section (per-window load + hotspots, no trace files)",
     )
     parser.add_argument(
+        "--probes",
+        action="store_true",
+        help="record protocol-state snapshots in every cell and append a "
+        "state section (ad coverage, staleness, cache health per tick)",
+    )
+    parser.add_argument(
         "--live",
         action="store_true",
         help="stream a live sweep status line (per-cell progress and "
@@ -325,6 +390,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         profile=args.profile,
         audit=args.audit,
         telemetry=args.telemetry or args.live,
+        probes=args.probes,
         jobs=args.jobs,
         scheduler=args.scheduler,
     )

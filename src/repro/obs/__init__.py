@@ -1,6 +1,6 @@
 """Observability for the simulation stack: tracing, profiling, metrics.
 
-Five layers, all opt-in and zero-cost when disabled:
+Six layers, all opt-in and zero-cost when disabled:
 
 * :mod:`repro.obs.trace`   -- structured event/span tracing to JSONL
   (optionally gzip-compressed, ``trace.jsonl.gz``);
@@ -13,6 +13,12 @@ Five layers, all opt-in and zero-cost when disabled:
   windowed load series, quantile sketches and heavy-hitter hotspots,
   mergeable across cells (``run_experiment(config, telemetry=True)``,
   ``python -m repro.obs.report telemetry``, ``runall --telemetry``);
+* :mod:`repro.obs.probes` -- periodic protocol-*state* snapshots over the
+  struct-of-arrays arena: per-source ad coverage, staleness sketches,
+  measured Bloom FP rate and cache health, bit-identical across storage
+  backends and across serial/parallel execution
+  (``run_experiment(config, probes=True)``, ``runall --probes``,
+  ``report telemetry --probes``);
 * :mod:`repro.obs.analyze` + :mod:`repro.obs.audit` -- causal lifecycle
   reconstruction from traces, runtime invariant checks and deterministic
   run fingerprints (``run_experiment(config, audit=True)``,
@@ -34,6 +40,16 @@ from repro.obs.metrics import (
     MetricsRegistry,
     diff_flat,
     flatten,
+)
+from repro.obs.probes import (
+    PROBE_SCHEMA_VERSION,
+    ProbeRecorder,
+    ProbeSummary,
+    check_arena_health,
+    merge_probe_summaries,
+    pow2_sketch,
+    snapshot_backend,
+    snapshot_state,
 )
 from repro.obs.profile import (
     PhaseStats,
@@ -76,7 +92,10 @@ __all__ = [
     "NULL_TRACER",
     "NullTelemetry",
     "NullTracer",
+    "PROBE_SCHEMA_VERSION",
     "PhaseStats",
+    "ProbeRecorder",
+    "ProbeSummary",
     "Profiler",
     "RunProfile",
     "SpaceSaving",
@@ -88,12 +107,17 @@ __all__ = [
     "Tracer",
     "analyze_trace",
     "audit_run",
+    "check_arena_health",
     "diff_flat",
     "flatten",
+    "merge_probe_summaries",
     "merge_profiles",
     "merge_summaries",
     "open_text_maybe_gzip",
+    "pow2_sketch",
     "quantile_nearest_rank",
+    "snapshot_backend",
+    "snapshot_state",
     "read_trace",
     "read_trace_lines",
     "run_fingerprint",

@@ -408,6 +408,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     a = json.loads(Path(args.a).read_text())
     b = json.loads(Path(args.b).read_text())
+    # Degrade gracefully on JSON that is not a metrics registry export
+    # (e.g. a telemetry.json or state.json was passed by mistake): name
+    # the offending file instead of dying on a KeyError inside flatten().
+    missing = [
+        path
+        for path, doc in ((args.a, a), (args.b, b))
+        if not (isinstance(doc, dict) and isinstance(doc.get("metrics"), list))
+    ]
+    if missing:
+        for path in missing:
+            print(
+                f"{path}: no 'metrics' section -- not a metrics.json "
+                "registry export (see `report run`); nothing to diff",
+                file=sys.stderr,
+            )
+        return 1
     print(render_diff(a, b, label_a=Path(args.a).stem, label_b=Path(args.b).stem))
     if args.tolerance is None:
         return 0  # informational diff, no gate
@@ -502,6 +518,8 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         seed=args.seed,
         use_physical_network=not args.no_physical_network,
     )
+    if args.probe_interval is not None:
+        config = replace(config, probe_interval_s=args.probe_interval)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
 
@@ -515,6 +533,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         configs,
         jobs=args.jobs,
         telemetry=True,
+        probes=args.probes,
         live=live,
         progress=lambda msg: print(msg, file=sys.stderr),
     )
@@ -526,6 +545,16 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         return 1
     # Input-order fold: bit-identical no matter how --jobs scheduled cells.
     summary = merge_summaries(o.telemetry for o in outcomes)
+    if summary is None:
+        # Every cell came back without a telemetry section (e.g. the
+        # accumulator was disabled in this build): report it instead of
+        # crashing on the absent summary.
+        print(
+            "no telemetry collected: none of the cells produced a "
+            "telemetry section",
+            file=sys.stderr,
+        )
+        return 1
 
     json_path = out_dir / "telemetry.json"
     json_path.write_text(
@@ -552,6 +581,33 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     print(summary.format_window_table(max_rows=args.max_rows))
     print()
     print(summary.format_hotspots())
+
+    if args.probes:
+        from repro.obs.probes import merge_probe_summaries
+
+        probe_summary = merge_probe_summaries(
+            getattr(o, "probes", None) for o in outcomes
+        )
+        if probe_summary is None:
+            print(
+                "no probe snapshots collected: none of the cells produced "
+                "a state section",
+                file=sys.stderr,
+            )
+            return 1
+        state_path = out_dir / "state.json"
+        state_path.write_text(
+            json.dumps(probe_summary.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {state_path}", file=sys.stderr)
+        print()
+        print(
+            f"protocol state over {probe_summary.cells} cell(s), "
+            f"{len(probe_summary.ticks)} tick(s), "
+            f"fingerprint {probe_summary.fingerprint()}"
+        )
+        print()
+        print(probe_summary.format_state_table(max_rows=args.max_rows))
     return 0
 
 
@@ -663,6 +719,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="worker processes for --replications (0 = all cores); the "
         "merged summary is bit-identical to --jobs 1",
+    )
+    tel_p.add_argument(
+        "--probes",
+        action="store_true",
+        help="also record protocol-state snapshots (repro.obs.probes) and "
+        "export the merged state series to state.json",
+    )
+    tel_p.add_argument(
+        "--probe-interval",
+        type=float,
+        default=None,
+        help="snapshot cadence in simulated seconds (default: the "
+        "RunConfig default, 60; short traces need a tighter cadence -- "
+        "the trace lasts ~n_queries/8 simulated seconds)",
     )
     tel_p.add_argument(
         "--live",

@@ -123,6 +123,11 @@ class SimulationEngine:
         self._cancel_hook = self._note_cancel
         # Batch handlers: batch_key -> callable(list[Event]).
         self._batch_handlers: Dict[str, Callable[[List[Event]], None]] = {}
+        # Batched-dispatch gauges (per batch_key), maintained only on the
+        # batch-handler path so the singleton fast path pays nothing.
+        self._batch_dispatches: Dict[str, int] = {}
+        self._batch_events: Dict[str, int] = {}
+        self._batch_cohort_sizes: Dict[int, int] = {}
         # Observer with event_begin(event)/event_end(event); None keeps the
         # dispatch loop on its unobserved fast path (a single branch).
         self._observer: Optional[Any] = None
@@ -205,6 +210,20 @@ class SimulationEngine:
         if not callable(handler):
             raise SimulationError("batch handler must be callable")
         self._batch_handlers[key] = handler
+
+    def batch_stats(self) -> Dict[str, Dict]:
+        """Batched-dispatch gauges for state probes and diagnostics.
+
+        ``dispatches`` counts batch-handler invocations per ``batch_key``,
+        ``events`` the events they absorbed, and ``cohort_sizes`` maps
+        cohort size -> occurrences.  All empty until a cohort actually
+        takes the batch path (counters live off the singleton fast path).
+        """
+        return {
+            "dispatches": dict(self._batch_dispatches),
+            "events": dict(self._batch_events),
+            "cohort_sizes": dict(self._batch_cohort_sizes),
+        }
 
     # ------------------------------------------------------------------ clock
     @property
@@ -406,7 +425,17 @@ class SimulationEngine:
                 ):
                     live = [e for e in cohort if not e.cancelled]
                     if live:
-                        self._processed += len(live)
+                        n_live = len(live)
+                        self._processed += n_live
+                        self._batch_dispatches[key] = (
+                            self._batch_dispatches.get(key, 0) + 1
+                        )
+                        self._batch_events[key] = (
+                            self._batch_events.get(key, 0) + n_live
+                        )
+                        self._batch_cohort_sizes[n_live] = (
+                            self._batch_cohort_sizes.get(n_live, 0) + 1
+                        )
                         batch_handlers[key](live)
                         if telemetry is not None:
                             for e in live:

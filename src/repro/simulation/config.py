@@ -95,6 +95,11 @@ class RunConfig:
     # (calendar queue).  Dispatch order -- and therefore every result and
     # run fingerprint -- is identical; this is purely a performance knob.
     scheduler: str = "heap"
+    # Cadence of the protocol-state probes (repro.obs.probes) in simulated
+    # seconds.  Snapshots fire at k * probe_interval_s only when the runner
+    # is asked for probes; the interval is part of RunConfig so the tick
+    # grid -- and therefore the probe fingerprint -- is pinned per config.
+    probe_interval_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.algorithm not in EXTENDED_ALGORITHMS:
@@ -115,6 +120,8 @@ class RunConfig:
                 "edonkey.n_peers must match n_peers "
                 f"({self.edonkey.n_peers} != {self.n_peers})"
             )
+        if self.probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be > 0")
         if self.scheduler not in ("heap", "calendar"):
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; "

@@ -83,6 +83,10 @@ class RunResult:
     # a repro.obs.telemetry.TelemetrySummary -- windowed load series,
     # quantile sketches and hotspot heavy hitters, mergeable across cells.
     telemetry: Optional[object] = None
+    # Protocol-state snapshot series (run_experiment with probes=True);
+    # a repro.obs.probes.ProbeSummary -- per-tick ad coverage, staleness,
+    # Bloom FP and cache-health series, mergeable across cells.
+    probes: Optional[object] = None
 
     # ------------------------------------------------------------- metrics
     @property

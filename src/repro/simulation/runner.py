@@ -124,6 +124,7 @@ def run_experiment(
     collect_diagnostics: bool = False,
     audit: bool = False,
     telemetry=False,
+    probes=False,
     progress=None,
     phase_times: Optional[dict] = None,
 ) -> RunResult:
@@ -149,6 +150,12 @@ def run_experiment(
       heavy hitters) are frozen into ``RunResult.telemetry`` as a
       :class:`~repro.obs.telemetry.TelemetrySummary` -- the constant-
       memory alternative to full tracing;
+    * ``probes`` -- schedule periodic protocol-state snapshots
+      (:class:`repro.obs.probes.ProbeRecorder`, cadence
+      ``config.probe_interval_s``) and freeze them into
+      ``RunResult.probes`` as a mergeable
+      :class:`~repro.obs.probes.ProbeSummary`; snapshots are read-only,
+      so results are identical with probes on or off;
     * ``progress`` -- optional ``callable(str)``; receives the rendered
       run profile when profiling is on;
     * ``phase_times`` -- optional dict filled with wall-clock phase
@@ -279,6 +286,17 @@ def run_experiment(
         engine.schedule_at(
             config.warmup_s + event.time, lambda e=event: handle(e), name="trace"
         )
+    recorder = None
+    if probes:
+        from repro.obs.probes import ProbeRecorder
+
+        recorder = ProbeRecorder(
+            config.probe_interval_s,
+            label=f"{config.algorithm}/{config.topology}/seed{config.seed}",
+        )
+        recorder.attach(
+            engine, algorithm, until=config.warmup_s + trace.duration + 1.0
+        )
     if phase_times is not None:
         now_wall = time.perf_counter()
         phase_times["setup_s"] = now_wall - t_phase
@@ -320,6 +338,8 @@ def run_experiment(
         profile=run_profile,
         cache_diagnostics=diagnostics,
     )
+    if recorder is not None:
+        result.probes = recorder.summary()
     if tel is not None:
         result.telemetry = tel.summary(
             ledger=ledger,
